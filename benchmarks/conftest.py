@@ -1,0 +1,34 @@
+"""Shared benchmark settings.
+
+Benches regenerate each paper exhibit at ``EvalSettings.quick()`` scale
+(suite matrices shrunk ~2.5x linearly) so the full harness finishes in a
+few minutes; set REPRO_BENCH_SCALE=1.0 in the environment for full-scale
+runs (the numbers recorded in EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro.eval import EvalSettings
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return EvalSettings(scale=_scale())
+
+
+@pytest.fixture(scope="session")
+def chol_names():
+    """Representative Cholesky subset: top / middle / bottom of Table 3."""
+    return ["Serena", "bone010", "bmwcra_1", "af_0_k101", "G3_circuit"]
+
+
+@pytest.fixture(scope="session")
+def lu_names():
+    """Representative LU subset: top / middle / bottom of Table 4."""
+    return ["atmosmodd", "language", "human_gene1", "FullChip", "rajat31"]

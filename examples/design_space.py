@@ -1,0 +1,44 @@
+"""Design-space exploration: the Figure 20 sweep, runnable.
+
+Sweeps PE count, tile size, cache capacity, and HBM PHYs; prints each
+configuration's area and gmean speedup over the V100 GPU model, marking
+the paper's selected (Table 2) design point.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.eval import EvalSettings, figure20, render_dse
+
+
+def main() -> None:
+    settings = EvalSettings(scale=0.5)
+    sweep = [
+        (8, 16, 4.0, 1),
+        (16, 16, 8.0, 1),
+        (32, 16, 8.0, 1),
+        (32, 16, 16.0, 2),   # Table 2's selected configuration
+        (32, 16, 32.0, 2),
+        (64, 16, 16.0, 2),
+        (64, 16, 32.0, 4),
+        (32, 8, 16.0, 2),
+        (32, 32, 16.0, 2),
+    ]
+    points = figure20(settings, names=["Serena", "bone010", "bmwcra_1"],
+                      sweep=sweep)
+    print(render_dse(points, "Design-space exploration "
+                             "(gmean speedup vs V100 model)"))
+    pareto = []
+    best = 0.0
+    for p in sorted(points, key=lambda q: q["area_mm2"]):
+        if p["gmean_speedup"] > best:
+            best = p["gmean_speedup"]
+            pareto.append(p)
+    print("\nPareto frontier:")
+    for p in pareto:
+        print(f"  {p['n_pes']:>3} PEs, T={p['tile']}, "
+              f"{p['cache_mb']:.0f} MB, {p['hbm_phys']} PHYs: "
+              f"{p['area_mm2']:.1f} mm^2 -> {p['gmean_speedup']:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

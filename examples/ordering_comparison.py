@@ -1,0 +1,60 @@
+"""Fill-reducing ordering comparison: why the symbolic phase matters.
+
+The quality of the fill-reducing ordering determines the factor's size,
+its FLOPs, and the supernode structure Spatula feeds on. This example
+compares AMD, nested dissection, RCM, and the natural order on two
+structurally different matrices, then simulates the best and worst on
+Spatula.
+
+Run:  python examples/ordering_comparison.py
+"""
+
+from repro import SpatulaConfig, symbolic_factorize
+from repro.arch.sim import SpatulaSim
+from repro.sparse import circuit_like, grid_laplacian_3d
+from repro.tasks.plan import build_plan
+
+ORDERINGS = ["amd", "nd", "rcm", "natural"]
+
+
+def analyze(matrix, kind):
+    results = {}
+    for ordering in ORDERINGS:
+        sf = symbolic_factorize(matrix, kind=kind, ordering=ordering,
+                                relax_small=32, relax_ratio=0.5,
+                                force_small=64)
+        results[ordering] = sf
+    return results
+
+
+def main() -> None:
+    cfg = SpatulaConfig.paper()
+    cases = [
+        ("3-D mesh (14^3)", grid_laplacian_3d(14, seed=1), "cholesky"),
+        ("circuit (2k nodes)", circuit_like(2000, hub_fraction=0.05,
+                                            seed=2), "lu"),
+    ]
+    for label, matrix, kind in cases:
+        print(f"\n{label}: n={matrix.n_rows}, nnz={matrix.nnz}")
+        print(f"{'ordering':<10}{'nnz(L)':>10}{'fill':>7}{'MFLOP':>9}"
+              f"{'supernodes':>12}{'max front':>11}")
+        results = analyze(matrix, kind)
+        for ordering, sf in results.items():
+            sizes = sf.supernode_sizes()
+            print(f"{ordering:<10}{sf.factor_nnz:>10}"
+                  f"{sf.factor_nnz / matrix.nnz:>7.1f}"
+                  f"{sf.flops / 1e6:>9.1f}{sf.n_supernodes:>12}"
+                  f"{sizes.max():>11}")
+        best = min(results, key=lambda o: results[o].flops)
+        worst = max(results, key=lambda o: results[o].flops)
+        for tag, ordering in (("best", best), ("worst", worst)):
+            plan = build_plan(results[ordering], tile=cfg.tile,
+                              supertile=cfg.supertile)
+            report = SpatulaSim(plan, cfg).run()
+            print(f"  Spatula with {tag} ordering ({ordering}): "
+                  f"{report.cycles} cycles, "
+                  f"{report.achieved_tflops:.2f} TFLOP/s")
+
+
+if __name__ == "__main__":
+    main()

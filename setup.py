@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+A setup.py is needed because this environment has no `wheel` package and no
+network access, so pip's PEP 517 editable path (which shells out to
+bdist_wheel) cannot run; the legacy `setup.py develop` path works offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — a full Python reproduction of *Spatula: A Hardware Accelerator
+for Sparse Matrix Factorization* (Feldmann & Sanchez, MICRO 2023).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sparse`   — sparse formats, MatrixMarket IO, and the
+  synthetic evaluation-matrix suite;
+* :mod:`repro.ordering` — fill-reducing orderings + static pivoting;
+* :mod:`repro.symbolic` — elimination trees, fill structures, supernodes,
+  CSQ fronts, tiling;
+* :mod:`repro.numeric`  — dense kernels, multifrontal Cholesky/LU, and the
+  end-to-end :class:`~repro.numeric.SparseSolver`;
+* :mod:`repro.tasks`    — the tile-task decomposition and FLOP accounting;
+* :mod:`repro.arch`     — the Spatula cycle-level simulator (the paper's
+  contribution);
+* :mod:`repro.baselines`— GPU and CPU performance models;
+* :mod:`repro.eval`     — drivers regenerating every table and figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import SparseSolver, SpatulaConfig, simulate
+    from repro.sparse import grid_laplacian_3d
+
+    A = grid_laplacian_3d(12, seed=0)
+    solver = SparseSolver(A, kind="cholesky")       # functional solve
+    x = solver.solve(np.ones(A.n_rows))
+
+    report = simulate(A, kind="cholesky",           # timing on Spatula
+                      config=SpatulaConfig.paper())
+    print(report.summary())
+"""
+
+from repro.arch import SimReport, SpatulaConfig, SpatulaSim, simulate
+from repro.numeric import SparseSolver
+from repro.sparse import CSCMatrix, COOMatrix
+from repro.symbolic import SymbolicFactorization, symbolic_factorize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSCMatrix",
+    "COOMatrix",
+    "SparseSolver",
+    "SymbolicFactorization",
+    "symbolic_factorize",
+    "SpatulaConfig",
+    "SpatulaSim",
+    "SimReport",
+    "simulate",
+    "__version__",
+]

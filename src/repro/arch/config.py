@@ -1,0 +1,151 @@
+"""Spatula hardware configuration (Table 2).
+
+``SpatulaConfig.paper()`` is the evaluated configuration: 32 PEs with 16x16
+systolic arrays at 1 GHz, a 16 MB 32-bank 16-way LRU cache with 2 KB
+(tile-sized) lines, crossbar NoC, and 2 HBM2E PHYs (1 TB/s).  Smaller
+configurations are provided for fast tests, and every knob is sweepable for
+the design-space exploration of Figure 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class SpatulaConfig:
+    """All architectural parameters of a Spatula instance.
+
+    Attributes mirror Table 2; timing constants derive from the synthesis
+    targets the paper reports (1 GHz, serial tag/data cache banks, HBM2E
+    channel structure).
+    """
+
+    # Compute.
+    n_pes: int = 32
+    tile: int = 16                  # T: systolic array edge / tile edge
+    task_slots: int = 4             # per-PE decoupling slots
+    divsqrt_latency: int = 12       # cycles per inverse-sqrt/divide stage
+    freq_ghz: float = 1.0
+
+    # Scheduler.
+    n_generators: int = 16
+    dispatch_interval: int = 1      # min cycles between task dispatches
+    # (the paper quotes one task per 3-20 cycles as the *demand* each
+    # generator must sustain; the dispatcher itself issues one per cycle)
+    activation_interval: int = 20   # min cycles between supernode launches
+    supertile: int = 70             # S: tiles per supertile edge
+    policy: str = "intra+inter"     # "intra+inter" | "intra" | "inter"
+    sn_order: str = "postorder"     # ready-supernode priority:
+    # "postorder" (min-heap by postorder key, Section 5.2) or "fifo"
+    # (arrival order — the ablation showing why the min-heap matters)
+    order: str = "bf"               # generator emission order ("bf"/"rowmajor")
+    dataflow_window: int = 1        # >1 enables out-of-order dispatch ablation
+
+    # Cache.
+    cache_mb: float = 16.0
+    cache_banks: int = 32
+    cache_ways: int = 16
+    cache_hit_latency: int = 4      # serial tag + data access
+    bank_port_bytes_per_cycle: int = 256
+    max_outstanding_misses: int = 256   # MSHR capacity (Table 2)
+
+    # NoC (full crossbar; per-PE port bandwidth).
+    pe_port_bytes_per_cycle: int = 256   # 32 doublewords/cycle
+
+    # Main memory (HBM2E).
+    hbm_phys: int = 2
+    hbm_gbs_per_phy: float = 512.0  # GB/s per PHY
+    hbm_channels_per_phy: int = 8
+    hbm_latency: int = 30           # cycles of DRAM access latency
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1 or self.tile < 2 or self.task_slots < 1:
+            raise ValueError("invalid PE configuration")
+        if self.policy not in ("intra+inter", "intra", "inter"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.sn_order not in ("postorder", "fifo"):
+            raise ValueError(f"unknown sn_order {self.sn_order!r}")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def tile_bytes(self) -> int:
+        """Bytes of one tile == one cache line (2 KB at T=16)."""
+        return self.tile * self.tile * 8
+
+    @property
+    def peak_flops_per_cycle(self) -> int:
+        """2 FLOPs per FMAC per cycle across all PEs."""
+        return self.n_pes * self.tile * self.tile * 2
+
+    @property
+    def peak_tflops(self) -> float:
+        """Peak throughput in TFLOP/s (16.384 for the paper config)."""
+        return self.peak_flops_per_cycle * self.freq_ghz / 1e3
+
+    @property
+    def hbm_channels(self) -> int:
+        return self.hbm_phys * self.hbm_channels_per_phy
+
+    @property
+    def hbm_bytes_per_cycle_per_channel(self) -> float:
+        total = self.hbm_phys * self.hbm_gbs_per_phy  # GB/s
+        per_chan = total / self.hbm_channels
+        return per_chan / self.freq_ghz  # bytes per cycle
+
+    @property
+    def cache_lines(self) -> int:
+        return int(self.cache_mb * 2 ** 20 // self.tile_bytes)
+
+    @property
+    def cache_sets_per_bank(self) -> int:
+        lines_per_bank = max(self.cache_ways,
+                             self.cache_lines // self.cache_banks)
+        return max(1, lines_per_bank // self.cache_ways)
+
+    @property
+    def tile_transfer_cycles(self) -> int:
+        """Cycles to move one tile over a PE port."""
+        return max(1, self.tile_bytes // self.pe_port_bytes_per_cycle)
+
+    @property
+    def bank_transfer_cycles(self) -> int:
+        """Cycles a bank port is occupied per line access."""
+        return max(1, self.tile_bytes // self.bank_port_bytes_per_cycle)
+
+    @property
+    def hbm_line_cycles(self) -> int:
+        """Cycles an HBM channel is occupied per line transfer."""
+        return max(
+            1, round(self.tile_bytes / self.hbm_bytes_per_cycle_per_channel)
+        )
+
+    # -- named configurations ------------------------------------------------
+
+    @classmethod
+    def paper(cls, **overrides) -> "SpatulaConfig":
+        """The Table 2 configuration (16.384 TFLOP/s peak)."""
+        return replace(cls(), **overrides) if overrides else cls()
+
+    @classmethod
+    def small(cls, **overrides) -> "SpatulaConfig":
+        """A scaled-down instance for fast tests (8 PEs, 8x8 tiles, 2 MB)."""
+        base = cls(
+            n_pes=8, tile=8, n_generators=8, cache_mb=2.0, cache_banks=8,
+            hbm_phys=1, supertile=16,
+            pe_port_bytes_per_cycle=64, bank_port_bytes_per_cycle=64,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    @classmethod
+    def tiny(cls, **overrides) -> "SpatulaConfig":
+        """A minimal instance for unit tests (2 PEs, 4x4 tiles)."""
+        base = cls(
+            n_pes=2, tile=4, task_slots=2, n_generators=2, cache_mb=0.125,
+            cache_banks=2, cache_ways=4, hbm_phys=1,
+            hbm_channels_per_phy=2, supertile=4,
+            pe_port_bytes_per_cycle=16, bank_port_bytes_per_cycle=16,
+            dispatch_interval=1, activation_interval=2,
+        )
+        return replace(base, **overrides) if overrides else base

@@ -1,0 +1,93 @@
+"""Area and power models (Table 2, Figure 18, Figure 20).
+
+The paper gets area and power from RTL synthesis at 12/14 nm plus prior
+work for the HBM PHYs.  We reproduce the same breakdown with per-component
+constants calibrated to the published totals:
+
+* Table 2 area: 32 PEs = 43.5 mm^2, scheduler = 0.05, 16 MB cache = 17.6,
+  NoC = 16.7, 2 HBM PHYs = 29.8 -> 107.7 mm^2 total;
+* Figure 18 power: 146 W average at gmean 10.7 TFLOP/s, with PEs taking
+  more than half on almost all matrices.
+
+Energy constants are per-operation (pJ/FLOP, pJ/byte) and are combined
+with simulated activity factors exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.stats import SimReport
+
+# -- area constants (mm^2, 12/14 nm), calibrated to Table 2 -------------------
+
+_PE_AREA_16 = 43.5 / 32          # one 16x16 double-buffered systolic PE
+_SCHEDULER_AREA = 0.05           # 16 generators + RISC-V control core
+_CACHE_AREA_PER_MB = 17.6 / 16.0
+_NOC_AREA_32x32 = 16.7           # 5 bit-sliced 32x32 crossbars (4 TB/s)
+_HBM_PHY_AREA = 29.8 / 2         # one HBM2E PHY
+
+
+def area_breakdown(config: SpatulaConfig) -> dict[str, float]:
+    """Component areas in mm^2 for a configuration (Table 2 layout).
+
+    PE area scales with the square of tile size (FMAC count); NoC area
+    scales with port count on each side (PEs x banks) relative to the
+    32x32 reference, following the bit-sliced crossbar model of Passas
+    et al. that the paper uses.
+    """
+    pe_scale = (config.tile / 16.0) ** 2
+    noc_scale = (config.n_pes / 32.0) * (config.cache_banks / 32.0)
+    areas = {
+        "PEs": config.n_pes * _PE_AREA_16 * pe_scale,
+        "Scheduler": _SCHEDULER_AREA,
+        "Cache": config.cache_mb * _CACHE_AREA_PER_MB,
+        "NoC": _NOC_AREA_32x32 * noc_scale,
+        "HBM PHYs": config.hbm_phys * _HBM_PHY_AREA,
+    }
+    areas["Total"] = sum(areas.values())
+    return areas
+
+
+# -- energy constants (picojoules), calibrated to Figure 18 -------------------
+
+_PJ_PER_FLOP = 7.0          # FMA datapath + registers, 12 nm
+_PJ_PER_CACHE_BYTE = 4.0    # bank access (serial tag + data), per byte
+_PJ_PER_NOC_BYTE = 2.0      # crossbar traversal, per byte
+_PJ_PER_DRAM_BYTE = 50.0    # HBM2E access energy, per byte
+_STATIC_W_PER_MM2 = 0.12    # leakage + clock distribution
+
+
+def power_breakdown(report: SimReport) -> dict[str, float]:
+    """Average power in watts by component for one simulation.
+
+    Dynamic energy = activity x per-op constants; static power scales with
+    component area.  Matches Figure 18's grouping (PEs / Cache / NoC / HBM).
+    """
+    seconds = report.seconds
+    if seconds <= 0:
+        return {"PEs": 0.0, "Cache": 0.0, "NoC": 0.0, "HBM": 0.0,
+                "Total": 0.0}
+    areas = area_breakdown(report.config)
+    cache_bytes = (
+        report.cache_hits + report.cache_misses + report.cache_allocations
+    ) * report.config.tile_bytes
+    # Every cache access crosses the NoC once; DRAM fills cross it again.
+    noc_bytes = cache_bytes + report.total_dram_bytes
+
+    def watts(pj: float) -> float:
+        return pj * 1e-12 / seconds
+
+    power = {
+        "PEs": watts(_PJ_PER_FLOP * report.machine_flops)
+        + _STATIC_W_PER_MM2 * areas["PEs"],
+        "Cache": watts(_PJ_PER_CACHE_BYTE * cache_bytes)
+        + _STATIC_W_PER_MM2 * areas["Cache"],
+        "NoC": watts(_PJ_PER_NOC_BYTE * noc_bytes)
+        + _STATIC_W_PER_MM2 * areas["NoC"],
+        "HBM": watts(_PJ_PER_DRAM_BYTE * report.total_dram_bytes)
+        + _STATIC_W_PER_MM2 * areas["HBM PHYs"],
+    }
+    power["Total"] = sum(power.values())
+    return power

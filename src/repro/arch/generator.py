@@ -1,0 +1,96 @@
+"""Generator units: per-supernode task production (Section 4.4, Figure 15).
+
+A generator is configured with one supernode and emits that supernode's
+tasks in a fixed order (the breadth-first loop nest of Section 5.1).  Its
+*completion scoreboard* tracks which inputs are available; a task is
+released to the dispatcher only when all its inputs have been computed.
+
+The hardware scoreboard encodes "last available column tile per row tile"
+in ~500 bits; this model tracks the same information exactly as per-task
+indegree counters over the materialized task graph, which is equivalent
+because emission order is topological (children of a dependence edge are
+always emitted first — validated by
+:meth:`repro.tasks.graph.SupernodeTaskGraph.validate_topological`).
+
+Dispatch is in-order (``dataflow_window == 1``): out-of-order *completion*
+is allowed, out-of-order *dispatch* is not — except in the Section 5.1
+ablation, where a window of up to ``dataflow_window`` pending tasks may
+dispatch out of order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tasks.graph import SupernodeTaskGraph
+
+
+@dataclass
+class Generator:
+    """One active supernode's task stream."""
+
+    sn: int
+    graph: SupernodeTaskGraph
+    window: int = 1
+    head: int = 0
+    n_done: int = 0
+    indegree: list[int] = field(default_factory=list)
+    dependents: list[list[int]] = field(default_factory=list)
+    dispatched: list[bool] = field(default_factory=list)
+    pe_binding: int = -1  # for the "inter" policy: tasks go only here
+
+    def __post_init__(self) -> None:
+        n = self.graph.n_tasks
+        self.indegree = [len(d) for d in self.graph.deps]
+        self.dependents = [[] for _ in range(n)]
+        for t, deps in enumerate(self.graph.deps):
+            for d in deps:
+                self.dependents[d].append(t)
+        self.dispatched = [False] * n
+
+    @property
+    def n_tasks(self) -> int:
+        return self.graph.n_tasks
+
+    @property
+    def done(self) -> bool:
+        return self.n_done == self.graph.n_tasks
+
+    def ready_tasks(self) -> list[int]:
+        """Dispatchable task indices under the in-order / windowed rule."""
+        self._advance_head()
+        ready: list[int] = []
+        scanned = 0
+        t = self.head
+        n = self.graph.n_tasks
+        while t < n and scanned < self.window:
+            if not self.dispatched[t]:
+                scanned += 1
+                if self.indegree[t] == 0:
+                    ready.append(t)
+                elif self.window == 1:
+                    break  # strict in-order: blocked head blocks the stream
+            t += 1
+        return ready
+
+    def _advance_head(self) -> None:
+        n = self.graph.n_tasks
+        while self.head < n and self.dispatched[self.head]:
+            self.head += 1
+
+    def mark_dispatched(self, t: int) -> None:
+        if self.dispatched[t]:
+            raise AssertionError(f"task {t} dispatched twice")
+        if self.indegree[t] != 0:
+            raise AssertionError(
+                f"task {t} dispatched with unresolved dependences"
+            )
+        self.dispatched[t] = True
+        self._advance_head()
+
+    def on_complete(self, t: int) -> None:
+        self.n_done += 1
+        for d in self.dependents[t]:
+            self.indegree[d] -= 1
+            if self.indegree[d] < 0:
+                raise AssertionError("dependence counter underflow")

@@ -1,0 +1,465 @@
+"""The Spatula simulation engine.
+
+Cycle-accurate discrete-event simulation of a whole factorization on the
+machine of :class:`~repro.arch.config.SpatulaConfig`.  Components (PEs,
+cache banks, NoC ports, HBM channels, the dispatcher, the supernode
+scheduler) are modeled as reservation resources at single-cycle
+resolution; PEs execute tasks at task granularity with fixed systolic
+latencies, exactly the granularity the paper's own simulator uses
+(Section 6).
+
+The engine enforces the architecture's correctness rules and asserts them
+at runtime: tasks dispatch only when their scoreboard dependences are
+resolved, generators dispatch in-order (unless the dataflow ablation
+widens the window), and supernodes launch only after all children are
+fully factored.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from repro.arch.cache import BankedCache
+from repro.arch.config import SpatulaConfig
+from repro.arch.generator import Generator
+from repro.arch.memory import HBMModel
+from repro.arch.pe import PE, PendingTask
+from repro.arch.scheduler import SupernodeScheduler
+from repro.arch.stats import SimReport
+from repro.arch.systolic import task_input_tiles, task_latency
+from repro.tasks.plan import FactorizationPlan
+from repro.tasks.task import TaskType, TileRef
+
+_A_ENTRY_BYTES = 12  # 8-byte value + 4-byte packed coordinate
+
+
+class SpatulaSim:
+    """One simulation run: construct, then :meth:`run` once."""
+
+    def __init__(
+        self,
+        plan: FactorizationPlan,
+        config: SpatulaConfig | None = None,
+        matrix_name: str = "",
+        executor=None,
+        trace: bool = False,
+    ) -> None:
+        """Args:
+            plan: tiled execution plan (see repro.tasks.plan.build_plan).
+            config: hardware configuration; defaults to the paper machine.
+            matrix_name: label stamped into the report.
+            executor: optional repro.arch.functional.TileExecutor; when
+                given, every retired task also runs its numeric kernel so
+                the simulation computes the real factorization (checkable
+                with executor.verify()).
+            trace: record a per-task execution trace in ``self.trace``
+                (see repro.arch.trace for renderers/exporters).
+        """
+        self.plan = plan
+        self.config = config or SpatulaConfig.paper()
+        if self.config.tile != plan.tile:
+            raise ValueError(
+                f"plan tiled at T={plan.tile} but config tile is "
+                f"{self.config.tile}; rebuild the plan"
+            )
+        self.matrix_name = matrix_name
+        self.executor = executor
+        self.trace: list | None = [] if trace else None
+
+        cfg = self.config
+        self.hbm = HBMModel(cfg)
+        self.cache = BankedCache(cfg, self.hbm)
+        self.cache.classify_store = self._classify_store
+        self.pes = [PE(index=i, n_slots=cfg.task_slots)
+                    for i in range(cfg.n_pes)]
+        self.snsched = SupernodeScheduler(
+            tree=plan.symbolic.tree, config=cfg
+        )
+
+        # Tile address space.
+        self._addr_of: dict[TileRef, int] = {}
+        self._ref_of: list[TileRef] = []
+
+        # Active generators, keyed by supernode index.
+        self.gens: dict[int, Generator] = {}
+        self._free_pe_bindings = list(range(cfg.n_pes - 1, -1, -1))
+
+        # Event queue.
+        self._events: list[tuple[int, int, str, object]] = []
+        self._seq = 0
+        self._now = 0
+        # Earliest outstanding pe_try wakeup per PE (dedupe guard).
+        self._pe_wake: list[int | None] = [None] * cfg.n_pes
+
+        # Resources with busy-until semantics.
+        self._dispatcher_free = 0
+        self._next_activation = 0
+
+        # Statistics.
+        self._machine_flops = 0
+        self._n_tasks_done = 0
+        self._n_tasks_total = 0
+        self._sn_started: dict[int, int] = {}
+        self._sn_intervals: list[tuple[int, int]] = []
+        self._last_cycle = 0
+        # Live-data footprint tracking (Section 5.2's memory argument):
+        # active fronts plus update matrices produced but not yet consumed
+        # by their parent (the component post-order traversal minimizes).
+        self._live_front_bytes = 0
+        self._live_update_bytes = 0
+        self.peak_live_front_bytes = 0
+
+        # Compulsory input-traffic bytes per supernode.
+        self._comp_bytes = self._compulsory_bytes()
+
+    # -- setup helpers -----------------------------------------------------
+
+    def _compulsory_bytes(self) -> np.ndarray:
+        """Bytes of A read when assembling each supernode's front."""
+        permuted = self.plan.symbolic.permuted
+        col_nnz = np.diff(permuted.indptr)
+        if self.plan.kind == "lu":
+            row_nnz = np.diff(permuted.transpose().indptr)
+            col_nnz = col_nnz + row_nnz
+        out = np.zeros(self.plan.n_supernodes, dtype=np.int64)
+        for sn in self.plan.symbolic.tree.supernodes:
+            out[sn.index] = _A_ENTRY_BYTES * int(
+                col_nnz[sn.first_col:sn.last_col + 1].sum()
+            )
+        return out
+
+    def _addr(self, ref: TileRef) -> int:
+        addr = self._addr_of.get(ref)
+        if addr is None:
+            addr = len(self._ref_of)
+            self._addr_of[ref] = addr
+            self._ref_of.append(ref)
+        return addr
+
+    def _classify_store(self, addr: int) -> str:
+        ref = self._ref_of[addr]
+        plan = self.plan.supernodes[ref.sn]
+        p = plan.grid.n_pivot_blocks
+        if plan.symmetric:
+            is_result = ref.block_col < p
+        else:
+            is_result = min(ref.block_row, ref.block_col) < p
+        return "store_result" if is_result else "store_spill"
+
+    def _is_result_addr(self, addr: int) -> bool:
+        return self._classify_store(addr) == "store_result"
+
+    # -- event machinery -----------------------------------------------------
+
+    def _schedule(self, cycle: int, kind: str, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (int(cycle), self._seq, kind, payload))
+
+    def _schedule_pe_try(self, pe_index: int, cycle: int) -> None:
+        """Schedule a PE wakeup, keeping at most one live wakeup per PE
+        (the earliest); redundant later wakeups are never enqueued and
+        superseded ones are dropped when they fire."""
+        cycle = int(cycle)
+        current = self._pe_wake[pe_index]
+        if current is not None and current <= cycle:
+            return
+        self._pe_wake[pe_index] = cycle
+        self._schedule(cycle, "pe_try", pe_index)
+
+    # -- supernode activation ---------------------------------------------------
+
+    def _activate(self, sn_index: int, cycle: int) -> None:
+        graph = self.plan.task_graph(sn_index, order=self.config.order)
+        gen = Generator(
+            sn=sn_index, graph=graph, window=self.config.dataflow_window
+        )
+        if self.config.policy == "inter":
+            gen.pe_binding = self._free_pe_bindings.pop()
+        self.gens[sn_index] = gen
+        self._n_tasks_total += graph.n_tasks
+        self._sn_started[sn_index] = cycle
+        self._live_front_bytes += self._front_bytes(sn_index)
+        self._track_peak_footprint()
+        if self.executor is not None:
+            self.executor.init_front(sn_index)
+        # Compulsory read of A's entries for this front.
+        self.hbm.read_bulk(int(self._comp_bytes[sn_index]), cycle,
+                           "comp_load")
+        if graph.n_tasks == 0:
+            # Degenerate empty supernode (cannot occur for n_cols >= 1, but
+            # keep the engine total): complete immediately.
+            self._finish_supernode(gen, cycle)
+
+    def _front_bytes(self, sn_index: int) -> int:
+        from repro.symbolic.tiling import front_tile_footprint_bytes
+
+        plan = self.plan.supernodes[sn_index]
+        return front_tile_footprint_bytes(plan.grid, plan.symmetric)
+
+    def _update_bytes(self, sn_index: int) -> int:
+        sn = self.plan.symbolic.tree.supernodes[sn_index]
+        u = sn.n_update_rows
+        entries = u * (u + 1) // 2 if self.plan.kind == "cholesky" \
+            else u * u
+        return entries * 8
+
+    def _track_peak_footprint(self) -> None:
+        self.peak_live_front_bytes = max(
+            self.peak_live_front_bytes,
+            self._live_front_bytes + self._live_update_bytes,
+        )
+
+    def _finish_supernode(self, gen: Generator, cycle: int) -> None:
+        self._live_front_bytes -= self._front_bytes(gen.sn)
+        # This supernode's update matrix stays live until the parent
+        # consumes it; its children's updates are now consumed.
+        self._live_update_bytes += self._update_bytes(gen.sn)
+        for child in self.plan.symbolic.tree.supernodes[gen.sn].children:
+            self._live_update_bytes -= self._update_bytes(child)
+        self._track_peak_footprint()
+        del self.gens[gen.sn]
+        if gen.pe_binding >= 0:
+            self._free_pe_bindings.append(gen.pe_binding)
+        self._sn_intervals.append((self._sn_started[gen.sn], cycle))
+        self.snsched.complete(gen.sn)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _pick_pe(self, gen: Generator) -> PE | None:
+        if gen.pe_binding >= 0:
+            pe = self.pes[gen.pe_binding]
+            return pe if pe.slots_free > 0 else None
+        best: PE | None = None
+        for pe in self.pes:
+            if pe.slots_free <= 0:
+                continue
+            if best is None or (pe.slots_free, -pe.array_free) > (
+                best.slots_free, -best.array_free
+            ):
+                best = pe
+        return best
+
+    def _dispatch(self, gen: Generator, task_index: int, pe: PE,
+                  now: int) -> None:
+        cfg = self.config
+        t0 = max(now, self._dispatcher_free)
+        self._dispatcher_free = t0 + cfg.dispatch_interval
+        task = gen.graph.tasks[task_index]
+        gen.mark_dispatched(task_index)
+
+        miss_kind = (
+            "gather_load" if task.ttype is TaskType.GATHER else "factor_load"
+        )
+        done_times: list[int] = []
+        for ref in task_input_tiles(task):
+            ready = self.cache.load(self._addr(ref), t0, miss_kind)
+            done_times.append(
+                pe.reserve_port(ready, cfg.tile_transfer_cycles)
+            )
+        # Runnable once the destination tile and the first input pair have
+        # arrived; the remaining inputs stream through the FIFO.
+        lead = max(done_times[: min(3, len(done_times))])
+        item = PendingTask(
+            gen_sn=gen.sn,
+            task_index=task_index,
+            op_ready=lead,
+            stream_done=max(done_times),
+            latency=task_latency(task, cfg),
+        )
+        pe.add_pending(item)
+        self._schedule_pe_try(pe.index, max(lead, pe.array_free))
+
+    def _pump(self, now: int) -> None:
+        cfg = self.config
+        # Launch ready supernodes onto free generators.
+        while (
+            len(self.gens) < self.snsched.max_in_flight
+            and self.snsched.has_ready()
+        ):
+            if now < self._next_activation:
+                self._schedule(self._next_activation, "pump", None)
+                break
+            sn = self.snsched.pop_ready()
+            self._activate(sn, now)
+            self._next_activation = now + cfg.activation_interval
+
+        # Dispatch: biased toward older (smaller-index) supernodes.
+        while True:
+            dispatched = False
+            for sn in sorted(self.gens):
+                gen = self.gens[sn]
+                for task_index in gen.ready_tasks():
+                    pe = self._pick_pe(gen)
+                    if pe is None:
+                        break
+                    self._dispatch(gen, task_index, pe, now)
+                    dispatched = True
+                    break
+                if dispatched:
+                    break
+            if not dispatched:
+                break
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _on_pe_try(self, pe_index: int, now: int) -> None:
+        if self._pe_wake[pe_index] != now:
+            return  # superseded by an earlier wakeup
+        self._pe_wake[pe_index] = None
+        pe = self.pes[pe_index]
+        if pe.array_free > now:
+            if pe.pending:
+                self._schedule_pe_try(pe_index, pe.array_free)
+            return
+        item = pe.pick_runnable(now)
+        if item is None:
+            wake = pe.next_wakeup()
+            if wake is not None and wake > now:
+                self._schedule_pe_try(pe_index, wake)
+            return
+        task = self.gens[item.gen_sn].graph.tasks[item.task_index]
+        end = pe.start_execution(item, now, task.ttype)
+        if self.trace is not None:
+            from repro.arch.trace import TraceEvent
+
+            self.trace.append(TraceEvent(
+                pe=pe_index, start=now, end=end, ttype=task.ttype.value,
+                sn=item.gen_sn, task_index=item.task_index,
+            ))
+        self._schedule(end, "exec_done",
+                       (pe_index, item.gen_sn, item.task_index))
+        if pe.pending:
+            self._schedule_pe_try(pe_index, max(end, pe.next_wakeup()))
+
+    def _on_exec_done(self, payload: tuple, now: int) -> None:
+        pe_index, gen_sn, task_index = payload
+        pe = self.pes[pe_index]
+        gen = self.gens[gen_sn]
+        task = gen.graph.tasks[task_index]
+        # Write the destination tile back to the cache (write direction).
+        port_done = pe.reserve_write_port(
+            now, self.config.tile_transfer_cycles
+        )
+        wb_done = self.cache.store(self._addr(task.dest), port_done)
+        self._schedule(wb_done, "task_final",
+                       (pe_index, gen_sn, task_index))
+        # The array is free: try the next runnable task.
+        if pe.pending:
+            self._schedule_pe_try(pe_index, now)
+
+    def _on_task_final(self, payload: tuple, now: int) -> None:
+        _pe_index, gen_sn, task_index = payload
+        gen = self.gens[gen_sn]
+        task = gen.graph.tasks[task_index]
+        self._machine_flops += task.flops
+        self._n_tasks_done += 1
+        if self.executor is not None:
+            self.executor.execute(task)
+        gen.on_complete(task_index)
+        if gen.done:
+            self._finish_supernode(gen, now)
+        self._pump(now)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> SimReport:
+        """Execute the simulation and return the report."""
+        self._pump(0)
+        while self._events:
+            cycle, _seq, kind, payload = heapq.heappop(self._events)
+            self._now = max(self._now, cycle)
+            if kind == "pe_try":
+                self._on_pe_try(payload, cycle)
+            elif kind == "exec_done":
+                self._on_exec_done(payload, cycle)
+            elif kind == "task_final":
+                self._on_task_final(payload, cycle)
+            elif kind == "pump":
+                self._pump(cycle)
+            else:
+                raise AssertionError(f"unknown event kind {kind}")
+        if not self.snsched.all_done:
+            raise AssertionError(
+                "simulation ended with unfinished supernodes "
+                f"({self.snsched.n_completed}/{self.plan.n_supernodes}); "
+                "scheduler deadlock"
+            )
+        end = self.cache.flush_results(self._now, self._is_result_addr)
+        end = max(end, self.hbm.drain_cycle(), self._now)
+        self._last_cycle = int(end)
+        return self._report()
+
+    def _report(self) -> SimReport:
+        busy: dict[TaskType, int] = {t: 0 for t in TaskType}
+        for pe in self.pes:
+            for ttype, cycles in pe.busy_by_type.items():
+                busy[ttype] += cycles
+        return SimReport(
+            config=self.config,
+            matrix_name=self.matrix_name,
+            kind=self.plan.kind,
+            n=self.plan.symbolic.n,
+            cycles=self._last_cycle,
+            algorithmic_flops=self.plan.symbolic.flops,
+            machine_flops=self._machine_flops,
+            n_tasks=self._n_tasks_done,
+            n_supernodes=self.plan.n_supernodes,
+            busy_cycles_by_type=busy,
+            traffic_bytes=dict(self.hbm.bytes_by_kind),
+            cache_hits=self.cache.stats.hits,
+            cache_misses=self.cache.stats.misses,
+            cache_allocations=self.cache.stats.allocations,
+            sn_intervals=list(self._sn_intervals),
+            pe_busy_cycles=[pe.busy_total for pe in self.pes],
+            peak_live_front_bytes=self.peak_live_front_bytes,
+        )
+
+
+def simulate(
+    matrix,
+    kind: str = "cholesky",
+    config: SpatulaConfig | None = None,
+    ordering: str = "amd",
+    matrix_name: str = "",
+    symbolic=None,
+    plan: FactorizationPlan | None = None,
+    check_numerics: bool = False,
+) -> SimReport:
+    """Convenience one-call simulation of factoring ``matrix`` on Spatula.
+
+    Args:
+        matrix: a :class:`repro.sparse.CSCMatrix` (ignored if ``plan`` is
+            given).
+        kind: "cholesky" or "lu".
+        config: hardware configuration (paper config by default).
+        ordering: fill-reducing ordering for the symbolic phase.
+        matrix_name: label stamped into the report.
+        symbolic: reuse an existing symbolic factorization.
+        plan: reuse an existing tiled plan (fastest path for sweeps).
+        check_numerics: execute every task's numeric kernel during the
+            simulation and assert the computed factor reconstructs the
+            matrix (slower; a deep end-to-end check of the scheduler).
+    """
+    from repro.symbolic.analyze import symbolic_factorize
+    from repro.tasks.plan import build_plan
+
+    config = config or SpatulaConfig.paper()
+    if plan is None:
+        if symbolic is None:
+            symbolic = symbolic_factorize(matrix, kind=kind,
+                                          ordering=ordering)
+        plan = build_plan(symbolic, tile=config.tile,
+                          supertile=config.supertile)
+    executor = None
+    if check_numerics:
+        from repro.arch.functional import TileExecutor
+
+        executor = TileExecutor(plan, matrix)
+    report = SpatulaSim(plan, config, matrix_name=matrix_name,
+                        executor=executor).run()
+    if executor is not None:
+        executor.verify()
+    return report

@@ -1,0 +1,144 @@
+"""Simulation statistics and the SimReport (everything Section 7 plots).
+
+A single :class:`SimReport` carries the data behind each evaluation figure:
+achieved TFLOP/s (Tables 3/4), the PE cycle breakdown (Figure 16), DRAM
+traffic by category and average bandwidth (Figure 17), the power breakdown
+(Figure 18), and the concurrent-supernode distribution (Figure 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import SpatulaConfig
+from repro.tasks.task import TaskType
+
+
+@dataclass
+class SimReport:
+    """The outcome of one Spatula simulation."""
+
+    config: SpatulaConfig
+    matrix_name: str
+    kind: str
+    n: int
+    cycles: int
+    algorithmic_flops: int
+    machine_flops: int
+    n_tasks: int
+    n_supernodes: int
+    busy_cycles_by_type: dict[TaskType, int]
+    traffic_bytes: dict[str, int]
+    cache_hits: int
+    cache_misses: int
+    cache_allocations: int
+    sn_intervals: list[tuple[int, int]] = field(default_factory=list)
+    pe_busy_cycles: list[int] = field(default_factory=list)
+    peak_live_front_bytes: int = 0
+
+    # -- headline numbers ------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.config.freq_ghz * 1e9)
+
+    @property
+    def achieved_tflops(self) -> float:
+        """Algorithmic FLOPs / time — the paper's TFLOP/s metric."""
+        return self.algorithmic_flops / self.seconds / 1e12
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of peak FMA throughput achieved (machine FLOPs)."""
+        peak = self.config.peak_flops_per_cycle * self.cycles
+        return self.machine_flops / peak if peak else 0.0
+
+    # -- Figure 16: cycle breakdown --------------------------------------------
+
+    def cycle_breakdown(self) -> dict[str, float]:
+        """Fraction of PE-cycles per task type, plus stalls."""
+        total = self.cycles * self.config.n_pes
+        out = {
+            t.value: self.busy_cycles_by_type.get(t, 0) / total
+            for t in TaskType
+        }
+        out["stalled"] = max(0.0, 1.0 - sum(out.values()))
+        return out
+
+    # -- Figure 17: data movement ------------------------------------------------
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(self.traffic_bytes.values())
+
+    @property
+    def avg_bandwidth_gbs(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.total_dram_bytes / self.seconds / 1e9
+
+    def traffic_fractions(self) -> dict[str, float]:
+        total = self.total_dram_bytes or 1
+        return {k: v / total for k, v in self.traffic_bytes.items()}
+
+    # -- Figure 19: concurrency ---------------------------------------------------
+
+    def concurrency_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(levels, cdf): fraction of busy time with <= level supernodes
+        concurrently in flight."""
+        if not self.sn_intervals:
+            return np.array([0]), np.array([1.0])
+        events: list[tuple[int, int]] = []
+        for start, end in self.sn_intervals:
+            if end > start:
+                events.append((start, +1))
+                events.append((end, -1))
+        events.sort()
+        time_at_level: dict[int, int] = {}
+        level = 0
+        prev = events[0][0]
+        for cycle, delta in events:
+            if cycle > prev and level > 0:
+                time_at_level[level] = time_at_level.get(level, 0) \
+                    + (cycle - prev)
+            level += delta
+            prev = cycle
+        levels = np.array(sorted(time_at_level), dtype=np.int64)
+        weights = np.array([time_at_level[k] for k in levels], dtype=float)
+        cdf = np.cumsum(weights) / weights.sum()
+        return levels, cdf
+
+    def mean_concurrency(self) -> float:
+        levels, cdf = self.concurrency_cdf()
+        pdf = np.diff(np.concatenate(([0.0], cdf)))
+        return float(np.sum(levels * pdf))
+
+    # -- load balance -------------------------------------------------------------
+
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-PE busy cycles (1.0 = perfectly even).
+
+        The paper's scheduler exists to avoid the load imbalance that
+        batching causes on GPUs; this quantifies how even Spatula's own
+        PE usage ends up.
+        """
+        if not self.pe_busy_cycles:
+            return 1.0
+        mean = sum(self.pe_busy_cycles) / len(self.pe_busy_cycles)
+        if mean == 0:
+            return 1.0
+        return max(self.pe_busy_cycles) / mean
+
+    # -- summary ---------------------------------------------------------------
+
+    def summary(self) -> str:
+        bd = self.cycle_breakdown()
+        return (
+            f"{self.matrix_name} [{self.kind}] n={self.n}: "
+            f"{self.cycles} cycles, {self.achieved_tflops:.2f} TFLOP/s "
+            f"({100 * self.utilization:.0f}% util), "
+            f"{self.avg_bandwidth_gbs:.0f} GB/s, "
+            f"stalled {100 * bd['stalled']:.0f}%"
+        )

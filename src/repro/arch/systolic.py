@@ -1,0 +1,50 @@
+"""Systolic-array timing models (Section 4.3, Figure 12).
+
+Each task type's latency on the 16x16 array, as the paper describes:
+
+* ``dgemm``   — output-stationary dataflow: a column of A and a row of B
+  enter per cycle, so n pairs of T-by-T tiles take n*T cycles; fill/drain
+  is hidden by double buffering.
+* ``dchol`` / ``dlu`` — Brent-Luk dataflow: latency-bound on a critical
+  path of T inverse-square-root (resp. divide) operations through the
+  corner ALU, plus pipeline drain.
+* ``tsolve`` — Kung-Leiserson dataflow: the read-only input streams through
+  while each row of the destination cycles through a row of ALUs; ~2T.
+* ``gather_updates`` — pure addition: each input tile streams through at a
+  row per cycle (T cycles per input tile).
+
+The simulator treats these latencies as fixed per task (given its tile
+parameters), exactly as the paper's simulator does (Section 6: "once
+started, each task incurs a fixed latency that depends solely on tile size
+parameters encoded in the task descriptor").
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import SpatulaConfig
+from repro.tasks.task import Task, TaskType
+
+
+def task_latency(task: Task, config: SpatulaConfig) -> int:
+    """Execution cycles of a task on one PE's systolic array."""
+    t = config.tile
+    if task.ttype is TaskType.DGEMM:
+        return max(1, task.n_pairs) * t
+    if task.ttype is TaskType.TSOLVE:
+        return 2 * t
+    if task.ttype in (TaskType.DCHOL, TaskType.DLU):
+        return t * config.divsqrt_latency + 2 * t
+    if task.ttype is TaskType.GATHER:
+        return max(1, len(task.inputs)) * t
+    raise ValueError(f"unknown task type {task.ttype}")
+
+
+def task_input_tiles(task: Task) -> list:
+    """Distinct tiles a task must fetch (dest + unique inputs)."""
+    seen = {task.dest}
+    tiles = [task.dest]
+    for ref in task.inputs:
+        if ref not in seen:
+            seen.add(ref)
+            tiles.append(ref)
+    return tiles

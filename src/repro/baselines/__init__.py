@@ -1,0 +1,41 @@
+"""Baseline performance models: GPU (CHOLMOD/STRUMPACK-style) and CPU.
+
+The paper compares Spatula against state-of-the-art factorization packages
+on an NVIDIA V100 and a 32-core Zen2 CPU.  We cannot run those here, so
+this subpackage provides analytic-but-structure-aware models that execute
+the *same symbolic factorization* (same supernodes, same dependences, same
+FLOPs) under each platform's documented execution strategy:
+
+* :mod:`repro.baselines.roofline` — dense-factorization throughput curves
+  (the Figure 7 measurement, which the paper itself uses as its first-order
+  explanation of GPU behaviour);
+* :mod:`repro.baselines.gpu` — level-by-level batched execution (Figure 8)
+  with per-kernel efficiency from the roofline, SM-level load imbalance,
+  kernel-launch overhead, and a DRAM bound; V100 / A100 / H100 parameter
+  sets for Table 5;
+* :mod:`repro.baselines.cpu` — dependence-aware list scheduling of
+  supernode tasks over 32 cores with per-core BLAS efficiency curves.
+
+Both models consume a :class:`repro.symbolic.SymbolicFactorization`, so
+"who wins where" follows real matrix structure exactly as in the paper.
+"""
+
+from repro.baselines.roofline import (
+    DenseRoofline,
+    cpu_core_roofline,
+    gpu_dense_roofline,
+)
+from repro.baselines.gpu import GPUModel, GPU_V100, GPU_A100, GPU_H100
+from repro.baselines.cpu import CPUModel, CPU_ZEN2_32C
+
+__all__ = [
+    "DenseRoofline",
+    "gpu_dense_roofline",
+    "cpu_core_roofline",
+    "GPUModel",
+    "GPU_V100",
+    "GPU_A100",
+    "GPU_H100",
+    "CPUModel",
+    "CPU_ZEN2_32C",
+]

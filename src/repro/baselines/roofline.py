@@ -1,0 +1,63 @@
+"""Dense-factorization throughput curves (Figure 7).
+
+Figure 7 measures V100 dense LU GFLOP/s as a function of matrix size:
+performance "flattens around size 20000, and drops linearly below 10000".
+We model this with a saturating curve
+
+    rate(n) = peak * min(1, n / n_sat)
+
+which reproduces both observations (linear ramp below saturation, flat
+above) and is the paper's own first-order explanation for why small
+supernodes destroy GPU utilization.  CPU cores saturate far earlier
+(BLAS3 panels of a few hundred rows), which is why CPUs beat GPUs on
+small-supernode matrices like FullChip (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DenseRoofline:
+    """A saturating throughput curve for dense factorization kernels.
+
+    Attributes:
+        peak_gflops: asymptotic throughput on large matrices.
+        n_sat: matrix size at which the curve reaches peak.
+        floor_gflops: minimum rate (a single scalar pipeline's worth),
+            so tiny kernels don't get an absurd zero rate.
+    """
+
+    peak_gflops: float
+    n_sat: float
+    floor_gflops: float = 1.0
+
+    def rate(self, n: int | float) -> float:
+        """Throughput in GFLOP/s for a dense factorization of size n."""
+        frac = min(1.0, float(n) / self.n_sat)
+        return max(self.floor_gflops, self.peak_gflops * frac)
+
+    def utilization(self, n: int | float) -> float:
+        return self.rate(n) / self.peak_gflops
+
+    def curve(self, sizes) -> np.ndarray:
+        """Vectorized rate over an array of sizes (for plotting Fig. 7)."""
+        return np.array([self.rate(int(s)) for s in np.asarray(sizes)])
+
+
+def gpu_dense_roofline(peak_gflops: float = 7000.0,
+                       n_sat: float = 20000.0) -> DenseRoofline:
+    """The V100 curve of Figure 7 (peak 7 TFLOP/s FP64, saturates ~20k)."""
+    return DenseRoofline(peak_gflops=peak_gflops, n_sat=n_sat,
+                         floor_gflops=2.0)
+
+
+def cpu_core_roofline(peak_gflops: float = 46.9,
+                      n_sat: float = 256.0) -> DenseRoofline:
+    """One Zen2 core at 3.5 GHz: ~47 GFLOP/s FP64 peak, saturating on
+    panels of a few hundred rows (MKL/BLIS DGEMM behaviour)."""
+    return DenseRoofline(peak_gflops=peak_gflops, n_sat=n_sat,
+                         floor_gflops=0.5)

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``suite``    — list the evaluation matrices (Tables 3/4);
+* ``info``     — matrix statistics + symbolic-factorization summary;
+* ``solve``    — factor and solve A x = b, report the residual;
+* ``simulate`` — run the Spatula cycle-level simulator and print the
+  report (optionally an ASCII Gantt chart and a Chrome trace JSON);
+* ``compare``  — Spatula vs the GPU/CPU baseline models on one matrix.
+
+Matrices are named either ``suite:NAME[@SCALE]`` (e.g. ``suite:Serena``,
+``suite:FullChip@0.5``) or a MatrixMarket file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.sim import SpatulaSim
+from repro.baselines import CPUModel, GPUModel
+from repro.numeric.solver import SparseSolver
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.io import read_matrix_market
+from repro.sparse.suite import cholesky_suite, get_matrix, get_spec, lu_suite
+from repro.symbolic.analyze import symbolic_factorize
+from repro.tasks.plan import build_plan
+
+
+def load_matrix(spec: str) -> tuple[CSCMatrix, str, str]:
+    """Resolve a matrix argument to (matrix, default_kind, ordering)."""
+    if spec.startswith("suite:"):
+        name = spec[len("suite:"):]
+        scale = 1.0
+        if "@" in name:
+            name, scale_str = name.split("@", 1)
+            scale = float(scale_str)
+        entry = get_spec(name)
+        kind = "cholesky" if entry.kind == "spd" else "lu"
+        return get_matrix(name, scale=scale), kind, entry.ordering
+    matrix = CSCMatrix.from_coo(read_matrix_market(spec))
+    kind = "cholesky" if matrix.is_symmetric() else "lu"
+    return matrix, kind, "amd"
+
+
+def _config_from_args(args) -> SpatulaConfig:
+    overrides = {}
+    for field in ("n_pes", "tile", "cache_mb", "policy", "order",
+                  "sn_order"):
+        value = getattr(args, field.replace("-", "_"), None)
+        if value is not None:
+            overrides[field] = value
+    return SpatulaConfig.paper(**overrides)
+
+
+def cmd_suite(_args) -> int:
+    print(f"{'name':<18}{'kind':<8}{'ordering':<10}domain")
+    for spec in cholesky_suite() + lu_suite():
+        print(f"{spec.name:<18}{spec.kind:<8}{spec.ordering:<10}"
+              f"{spec.domain}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    matrix, kind, ordering = load_matrix(args.matrix)
+    kind = args.kind or kind
+    print(f"n = {matrix.n_rows}, nnz = {matrix.nnz} "
+          f"({matrix.nnz / matrix.n_rows:.1f}/row)")
+    print(f"structurally symmetric: {matrix.is_structurally_symmetric()}")
+    symbolic = symbolic_factorize(matrix, kind=kind, ordering=ordering,
+                                  relax_small=32, relax_ratio=0.5,
+                                  force_small=64)
+    sizes = symbolic.supernode_sizes()
+    print(f"symbolic [{kind}, {ordering}]: nnz(L) = {symbolic.factor_nnz} "
+          f"({symbolic.factor_nnz / max(1, matrix.nnz):.1f}x fill), "
+          f"{symbolic.flops / 1e9:.3f} GFLOP")
+    print(f"supernodes: {symbolic.n_supernodes} "
+          f"(median front {int(np.median(sizes))}, max {sizes.max()})")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    matrix, kind, ordering = load_matrix(args.matrix)
+    kind = args.kind or kind
+    solver = SparseSolver(matrix, kind=kind, ordering=ordering)
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal(matrix.n_rows)
+    if args.refine:
+        result = solver.solve_refined(matrix, b)
+        print(f"residual {result.residual_norm:.3e} after "
+              f"{result.iterations} refinement sweep(s)")
+    else:
+        x = solver.solve(b)
+        print(f"residual {solver.residual_norm(matrix, x, b):.3e}")
+    print(f"factor nnz {solver.factor_nnz}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    matrix, kind, ordering = load_matrix(args.matrix)
+    kind = args.kind or kind
+    config = _config_from_args(args)
+    symbolic = symbolic_factorize(matrix, kind=kind, ordering=ordering,
+                                  relax_small=32, relax_ratio=0.5,
+                                  force_small=64)
+    plan = build_plan(symbolic, tile=config.tile,
+                      supertile=config.supertile)
+    executor = None
+    if args.check:
+        from repro.arch.functional import TileExecutor
+
+        executor = TileExecutor(plan, matrix)
+    sim = SpatulaSim(plan, config, matrix_name=args.matrix,
+                     executor=executor, trace=bool(args.gantt or args.trace))
+    report = sim.run()
+    print(report.summary())
+    bd = report.cycle_breakdown()
+    print("cycles: " + ", ".join(f"{k} {100 * v:.1f}%"
+                                 for k, v in bd.items() if v > 0.001))
+    print("traffic: " + ", ".join(
+        f"{k} {v / 1e6:.2f} MB" for k, v in report.traffic_bytes.items()))
+    print(f"load imbalance {report.load_imbalance():.2f}, "
+          f"peak live footprint "
+          f"{report.peak_live_front_bytes / 1024:.0f} KB")
+    if executor is not None:
+        err = executor.verify()
+        print(f"numeric check passed (max reconstruction error {err:.2e})")
+    if args.gantt:
+        from repro.arch.trace import render_gantt
+
+        print(render_gantt(sim.trace, config.n_pes))
+    if args.trace:
+        from repro.arch.trace import export_chrome_trace
+
+        export_chrome_trace(sim.trace, args.trace, config.freq_ghz)
+        print(f"wrote Chrome trace to {args.trace}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    matrix, kind, ordering = load_matrix(args.matrix)
+    kind = args.kind or kind
+    config = _config_from_args(args)
+    symbolic = symbolic_factorize(matrix, kind=kind, ordering=ordering,
+                                  relax_small=32, relax_ratio=0.5,
+                                  force_small=64)
+    plan = build_plan(symbolic, tile=config.tile,
+                      supertile=config.supertile)
+    report = SpatulaSim(plan, config, matrix_name=args.matrix).run()
+    gpu = GPUModel().run(symbolic)
+    cpu = CPUModel().run(symbolic)
+    print(f"{'platform':<12}{'time':>12}{'rate':>16}{'speedup':>9}")
+    print(f"{'Spatula':<12}{report.seconds * 1e6:>10.1f}us"
+          f"{report.achieved_tflops:>10.2f} TFLOP/s{'1.0x':>9}")
+    print(f"{'V100 GPU':<12}{gpu.seconds * 1e6:>10.1f}us"
+          f"{gpu.gflops / 1e3:>10.2f} TFLOP/s"
+          f"{gpu.seconds / report.seconds:>8.1f}x")
+    print(f"{'Zen2 CPU':<12}{cpu.seconds * 1e6:>10.1f}us"
+          f"{cpu.gflops / 1e3:>10.2f} TFLOP/s"
+          f"{cpu.seconds / report.seconds:>8.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatula (MICRO 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list evaluation matrices")
+
+    def add_matrix_arg(p):
+        p.add_argument("matrix",
+                       help="suite:NAME[@SCALE] or a MatrixMarket path")
+        p.add_argument("--kind", choices=["cholesky", "lu"], default=None)
+
+    p_info = sub.add_parser("info", help="matrix + symbolic summary")
+    add_matrix_arg(p_info)
+
+    p_solve = sub.add_parser("solve", help="factor and solve Ax=b")
+    add_matrix_arg(p_solve)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--refine", action="store_true",
+                         help="use iterative refinement")
+
+    def add_config_args(p):
+        p.add_argument("--n-pes", type=int, default=None)
+        p.add_argument("--tile", type=int, default=None)
+        p.add_argument("--cache-mb", type=float, default=None)
+        p.add_argument("--policy",
+                       choices=["intra+inter", "intra", "inter"],
+                       default=None)
+        p.add_argument("--order", choices=["bf", "rowmajor"], default=None)
+        p.add_argument("--sn-order", choices=["postorder", "fifo"],
+                       default=None)
+
+    p_sim = sub.add_parser("simulate", help="run the cycle-level simulator")
+    add_matrix_arg(p_sim)
+    add_config_args(p_sim)
+    p_sim.add_argument("--check", action="store_true",
+                       help="execute numerics and verify the factor")
+    p_sim.add_argument("--gantt", action="store_true",
+                       help="print an ASCII Gantt chart")
+    p_sim.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a Chrome trace JSON")
+
+    p_cmp = sub.add_parser("compare", help="Spatula vs GPU/CPU baselines")
+    add_matrix_arg(p_cmp)
+    add_config_args(p_cmp)
+    return parser
+
+
+_COMMANDS = {
+    "suite": cmd_suite,
+    "info": cmd_info,
+    "solve": cmd_solve,
+    "simulate": cmd_simulate,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a closed consumer (e.g. `| head`): the Unix
+        # convention is to exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Experiment drivers and renderers for every table and figure in the
+paper's evaluation (Section 7), plus the Section 3 motivation figures.
+
+Each ``figure*`` / ``table*`` function regenerates the data behind the
+corresponding exhibit; ``repro.eval.report`` renders them as the text
+tables the paper prints.  See DESIGN.md section 4 for the experiment
+index and ``benchmarks/`` for the bench entry points.
+"""
+
+from repro.eval.experiments import (
+    EvalSettings,
+    SuiteRow,
+    analyze_suite_matrix,
+    figure5,
+    figure6,
+    figure7,
+    figure14,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    run_suite_matrix,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.eval.report import (
+    render_cdf,
+    render_dse,
+    render_cycle_breakdown,
+    render_power,
+    render_suite_table,
+    render_traffic,
+)
+
+__all__ = [
+    "EvalSettings",
+    "SuiteRow",
+    "analyze_suite_matrix",
+    "run_suite_matrix",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure14",
+    "figure16",
+    "figure17",
+    "figure18",
+    "figure19",
+    "figure20",
+    "render_suite_table",
+    "render_cycle_breakdown",
+    "render_traffic",
+    "render_power",
+    "render_cdf",
+    "render_dse",
+]

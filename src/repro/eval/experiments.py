@@ -1,0 +1,364 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+All drivers share :class:`EvalSettings` (matrix scale + hardware config +
+amalgamation knobs) and a per-process symbolic-analysis cache, because the
+symbolic factorization of a pattern is reused across experiments exactly
+as the paper's own methodology reuses it across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.energy import area_breakdown, power_breakdown
+from repro.arch.sim import SpatulaSim
+from repro.arch.stats import SimReport
+from repro.baselines.cpu import CPUModel, CPUResult
+from repro.baselines.gpu import GPU_A100, GPU_H100, GPU_V100, GPUModel, GPUResult
+from repro.baselines.roofline import gpu_dense_roofline
+from repro.sparse.suite import cholesky_suite, get_spec, lu_suite
+from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
+from repro.tasks.plan import FactorizationPlan, build_plan
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Shared experiment settings.
+
+    Attributes:
+        scale: suite matrix scale (1.0 = default scaled-down sizes; smaller
+            values shrink matrices further for quick benches).
+        config: the Spatula instance to simulate.
+        relax_small / relax_ratio / force_small: supernode amalgamation
+            (defaults tuned for T=16 fronts; see DESIGN.md).
+    """
+
+    scale: float = 1.0
+    config: SpatulaConfig = field(default_factory=SpatulaConfig.paper)
+    relax_small: int = 32
+    relax_ratio: float = 0.5
+    force_small: int = 64
+
+    @classmethod
+    def quick(cls, **overrides) -> "EvalSettings":
+        """Fast settings for benches/CI: smaller matrices, same machine."""
+        base = cls(scale=0.4)
+        return replace(base, **overrides) if overrides else base
+
+
+@dataclass
+class SuiteRow:
+    """One row of Table 3 / Table 4."""
+
+    name: str
+    kind: str
+    n: int
+    flops: int
+    report: SimReport
+    gpu: GPUResult
+    cpu: CPUResult
+
+    @property
+    def spatula_tflops(self) -> float:
+        return self.report.achieved_tflops
+
+    @property
+    def speedup_vs_gpu(self) -> float:
+        return self.gpu.seconds / self.report.seconds
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.cpu.seconds / self.report.seconds
+
+
+_SYMBOLIC_CACHE: dict[tuple, SymbolicFactorization] = {}
+_PLAN_CACHE: dict[tuple, FactorizationPlan] = {}
+
+
+def analyze_suite_matrix(
+    name: str, settings: EvalSettings
+) -> SymbolicFactorization:
+    """Build + symbolically factor a suite matrix (cached per process)."""
+    key = (name, settings.scale, settings.relax_small,
+           settings.relax_ratio, settings.force_small)
+    if key not in _SYMBOLIC_CACHE:
+        spec = get_spec(name)
+        matrix = spec.build(settings.scale)
+        kind = "cholesky" if spec.kind == "spd" else "lu"
+        _SYMBOLIC_CACHE[key] = symbolic_factorize(
+            matrix, kind=kind, ordering=spec.ordering,
+            relax_small=settings.relax_small,
+            relax_ratio=settings.relax_ratio,
+            force_small=settings.force_small,
+        )
+    return _SYMBOLIC_CACHE[key]
+
+
+def _plan_for(name: str, settings: EvalSettings) -> FactorizationPlan:
+    key = (name, settings.scale, settings.relax_small,
+           settings.relax_ratio, settings.force_small,
+           settings.config.tile, settings.config.supertile)
+    if key not in _PLAN_CACHE:
+        symbolic = analyze_suite_matrix(name, settings)
+        _PLAN_CACHE[key] = build_plan(
+            symbolic, tile=settings.config.tile,
+            supertile=settings.config.supertile,
+        )
+    return _PLAN_CACHE[key]
+
+
+def run_suite_matrix(name: str, settings: EvalSettings | None = None
+                     ) -> SuiteRow:
+    """Simulate Spatula + both baselines on one suite matrix."""
+    settings = settings or EvalSettings()
+    symbolic = analyze_suite_matrix(name, settings)
+    plan = _plan_for(name, settings)
+    report = SpatulaSim(plan, settings.config, matrix_name=name).run()
+    gpu = GPUModel(GPU_V100).run(symbolic)
+    cpu = CPUModel().run(symbolic)
+    return SuiteRow(
+        name=name, kind=symbolic.kind, n=symbolic.n,
+        flops=symbolic.flops, report=report, gpu=gpu, cpu=cpu,
+    )
+
+
+def _run_suite(names: list[str], settings: EvalSettings) -> list[SuiteRow]:
+    return [run_suite_matrix(name, settings) for name in names]
+
+
+def gmean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table2(settings: EvalSettings | None = None) -> dict[str, float]:
+    """Table 2: configuration and area of Spatula as evaluated."""
+    settings = settings or EvalSettings()
+    return area_breakdown(settings.config)
+
+
+def table3(settings: EvalSettings | None = None,
+           names: list[str] | None = None) -> list[SuiteRow]:
+    """Table 3: Cholesky performance + speedups over GPU and CPU."""
+    settings = settings or EvalSettings()
+    names = names or [s.name for s in cholesky_suite()]
+    return _run_suite(names, settings)
+
+
+def table4(settings: EvalSettings | None = None,
+           names: list[str] | None = None) -> list[SuiteRow]:
+    """Table 4: LU performance + speedups over GPU and CPU."""
+    settings = settings or EvalSettings()
+    names = names or [s.name for s in lu_suite()]
+    return _run_suite(names, settings)
+
+
+def table5(settings: EvalSettings | None = None,
+           names: list[str] | None = None) -> list[dict]:
+    """Table 5: STRUMPACK(-style model) on V100 / A100 / H100.
+
+    Returns one dict per GPU with gmean GFLOP/s and utilization over the
+    LU suite.
+    """
+    settings = settings or EvalSettings()
+    names = names or [s.name for s in lu_suite()]
+    out = []
+    for spec in (GPU_V100, GPU_A100, GPU_H100):
+        model = GPUModel(spec)
+        rates = []
+        for name in names:
+            symbolic = analyze_suite_matrix(name, settings)
+            rates.append(model.run(symbolic).gflops)
+        g = gmean(rates)
+        out.append({
+            "gpu": spec.name,
+            "gmean_gflops": g,
+            "gmean_util_pct": 100.0 * g / spec.peak_gflops,
+        })
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+FIGURE5_MATRICES = ["atmosmodd", "ML_Geer", "human_gene1", "FullChip"]
+
+
+def figure5(settings: EvalSettings | None = None) -> list[dict]:
+    """Figure 5: baseline GFLOP/s on four representative LU matrices."""
+    settings = settings or EvalSettings()
+    rows = []
+    gpu = GPUModel(GPU_V100)
+    cpu = CPUModel()
+    for name in FIGURE5_MATRICES:
+        symbolic = analyze_suite_matrix(name, settings)
+        rows.append({
+            "matrix": name,
+            "gpu_gflops": gpu.run(symbolic).gflops,
+            "cpu_gflops": cpu.run(symbolic).gflops,
+        })
+    return rows
+
+
+def figure6(settings: EvalSettings | None = None,
+            names: tuple[str, str] = ("atmosmodd", "FullChip")
+            ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Figure 6: CDF of FLOPs by supernode size for two extreme matrices.
+
+    Returns {matrix: (sizes, cdf)} where cdf[i] is the fraction of total
+    FLOPs in supernodes of size <= sizes[i].
+    """
+    settings = settings or EvalSettings()
+    out = {}
+    for name in names:
+        symbolic = analyze_suite_matrix(name, settings)
+        sizes = symbolic.supernode_sizes()
+        flops = symbolic.supernode_flops().astype(float)
+        order = np.argsort(sizes)
+        sizes, flops = sizes[order], flops[order]
+        cdf = np.cumsum(flops) / flops.sum()
+        out[name] = (sizes, cdf)
+    return out
+
+
+def figure7(sizes: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 7: GPU dense LU GFLOP/s vs matrix size (roofline curve)."""
+    if sizes is None:
+        sizes = np.arange(500, 25001, 500)
+    curve = gpu_dense_roofline().curve(sizes)
+    return np.asarray(sizes), curve
+
+
+FIGURE14_MATRICES = ["Emilia_923", "boneS10", "bmwcra_1", "G3_circuit"]
+FIGURE14_POLICIES = ("inter", "intra", "intra+inter")
+
+
+def figure14(settings: EvalSettings | None = None,
+             names: list[str] | None = None) -> list[dict]:
+    """Figure 14: scheduler-policy comparison (Inter / Intra / Intra+Inter).
+
+    Returns one dict per matrix with achieved GFLOP/s under each policy.
+    """
+    settings = settings or EvalSettings()
+    names = names or FIGURE14_MATRICES
+    rows = []
+    for name in names:
+        plan = _plan_for(name, settings)
+        entry = {"matrix": name}
+        for policy in FIGURE14_POLICIES:
+            config = replace(settings.config, policy=policy)
+            report = SpatulaSim(plan, config, matrix_name=name).run()
+            entry[policy] = report.achieved_tflops * 1e3  # GFLOP/s
+        rows.append(entry)
+    return rows
+
+
+def figure16(rows: list[SuiteRow]) -> list[dict]:
+    """Figure 16: per-matrix PE cycle breakdown by task type + stalls."""
+    return [
+        {"matrix": row.name, **row.report.cycle_breakdown()} for row in rows
+    ]
+
+
+def figure17(rows: list[SuiteRow]) -> list[dict]:
+    """Figure 17: per-matrix DRAM traffic breakdown + average bandwidth."""
+    out = []
+    for row in rows:
+        entry = {
+            "matrix": row.name,
+            "total_gb": row.report.total_dram_bytes / 1e9,
+            "avg_gbs": row.report.avg_bandwidth_gbs,
+        }
+        entry.update(row.report.traffic_fractions())
+        out.append(entry)
+    return out
+
+
+def figure18(rows: list[SuiteRow]) -> list[dict]:
+    """Figure 18: per-matrix power breakdown (PEs / Cache / NoC / HBM)."""
+    return [
+        {"matrix": row.name, **power_breakdown(row.report)} for row in rows
+    ]
+
+
+FIGURE19_MATRICES = {
+    "cholesky": ["af_0_k101", "G3_circuit"],
+    "lu": ["FullChip", "rajat31"],
+}
+
+
+def figure19(settings: EvalSettings | None = None,
+             names: list[str] | None = None
+             ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Figure 19: CDFs of concurrently executing supernodes."""
+    settings = settings or EvalSettings()
+    names = names or (FIGURE19_MATRICES["cholesky"]
+                      + FIGURE19_MATRICES["lu"])
+    out = {}
+    for name in names:
+        row = run_suite_matrix(name, settings)
+        out[name] = row.report.concurrency_cdf()
+    return out
+
+
+DSE_SWEEP = [
+    # (n_pes, tile, cache_mb, hbm_phys) points spanning the Figure 20 space.
+    (8, 16, 4.0, 1),
+    (16, 16, 8.0, 1),
+    (16, 16, 16.0, 2),
+    (32, 16, 8.0, 1),
+    (32, 16, 16.0, 2),     # the selected (Table 2) configuration
+    (32, 16, 32.0, 2),
+    (48, 16, 16.0, 2),
+    (64, 16, 16.0, 2),
+    (64, 16, 32.0, 4),
+    (32, 8, 16.0, 2),
+    (32, 32, 16.0, 2),
+]
+
+
+def figure20(settings: EvalSettings | None = None,
+             names: list[str] | None = None,
+             sweep: list[tuple] | None = None) -> list[dict]:
+    """Figure 20: design-space exploration — gmean speedup vs area.
+
+    Sweeps PE count, tile size, cache size, and HBM PHYs; each point
+    reports its area and gmean speedup over the GPU baseline across a
+    small representative matrix set.
+    """
+    settings = settings or EvalSettings()
+    names = names or ["Serena", "bone010", "G3_circuit", "bmwcra_1"]
+    sweep = sweep or DSE_SWEEP
+    gpu = GPUModel(GPU_V100)
+    points = []
+    for n_pes, tile, cache_mb, phys in sweep:
+        config = replace(
+            settings.config, n_pes=n_pes, tile=tile, cache_mb=cache_mb,
+            hbm_phys=phys, cache_banks=min(32, max(8, n_pes)),
+        )
+        cfg_settings = replace(settings, config=config)
+        speedups = []
+        for name in names:
+            symbolic = analyze_suite_matrix(name, cfg_settings)
+            plan = _plan_for(name, cfg_settings)
+            report = SpatulaSim(plan, config, matrix_name=name).run()
+            speedups.append(gpu.run(symbolic).seconds / report.seconds)
+        points.append({
+            "n_pes": n_pes, "tile": tile, "cache_mb": cache_mb,
+            "hbm_phys": phys,
+            "area_mm2": area_breakdown(config)["Total"],
+            "gmean_speedup": gmean(speedups),
+            "selected": (n_pes, tile, cache_mb, phys) == (32, 16, 16.0, 2),
+        })
+    return points

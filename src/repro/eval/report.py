@@ -1,0 +1,106 @@
+"""Text renderers for the evaluation exhibits.
+
+Each renderer turns a driver's output (see ``repro.eval.experiments``)
+into the table the paper prints, so benches and EXPERIMENTS.md show
+paper-shaped rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.experiments import SuiteRow, gmean
+
+
+def render_suite_table(rows: list[SuiteRow], title: str) -> str:
+    """Render Table 3 / Table 4: TFLOP/s + speedups per matrix."""
+    lines = [
+        title,
+        f"{'Matrix':<18}{'Spatula TFLOP/s':>16}{'vs. GPU':>10}{'vs. CPU':>10}",
+        "-" * 54,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<18}{row.spatula_tflops:>16.2f}"
+            f"{row.speedup_vs_gpu:>10.1f}{row.speedup_vs_cpu:>10.1f}"
+        )
+    lines.append("-" * 54)
+    lines.append(
+        f"{'gmean':<18}{gmean(r.spatula_tflops for r in rows):>16.2f}"
+        f"{gmean(r.speedup_vs_gpu for r in rows):>10.1f}"
+        f"{gmean(r.speedup_vs_cpu for r in rows):>10.1f}"
+    )
+    return "\n".join(lines)
+
+
+def render_cycle_breakdown(entries: list[dict], title: str) -> str:
+    """Render Figure 16: fraction of PE cycles per task type."""
+    cols = ["dgemm", "tsolve", "dchol", "dlu", "gather_updates", "stalled"]
+    header = f"{'Matrix':<18}" + "".join(f"{c:>9}" for c in
+                                         ["gemm", "tsolv", "chol", "lu",
+                                          "gather", "stall"])
+    lines = [title, header, "-" * len(header)]
+    for e in entries:
+        lines.append(
+            f"{e['matrix']:<18}"
+            + "".join(f"{100 * e[c]:>8.1f}%" for c in cols)
+        )
+    return "\n".join(lines)
+
+
+def render_traffic(entries: list[dict], title: str) -> str:
+    """Render Figure 17: traffic fractions + average bandwidth."""
+    cols = ["comp_load", "gather_load", "factor_load", "store_spill",
+            "store_result"]
+    header = (f"{'Matrix':<18}{'GB':>8}{'GB/s':>8}"
+              + "".join(f"{c.split('_')[-1][:6]:>8}" for c in cols))
+    lines = [title, header, "-" * len(header)]
+    for e in entries:
+        lines.append(
+            f"{e['matrix']:<18}{e['total_gb']:>8.2f}{e['avg_gbs']:>8.0f}"
+            + "".join(f"{100 * e[c]:>7.1f}%" for c in cols)
+        )
+    return "\n".join(lines)
+
+
+def render_power(entries: list[dict], title: str) -> str:
+    """Render Figure 18: watts per component."""
+    cols = ["PEs", "Cache", "NoC", "HBM", "Total"]
+    header = f"{'Matrix':<18}" + "".join(f"{c:>8}" for c in cols)
+    lines = [title, header, "-" * len(header)]
+    for e in entries:
+        lines.append(
+            f"{e['matrix']:<18}" + "".join(f"{e[c]:>7.1f}W" for c in cols)
+        )
+    return "\n".join(lines)
+
+
+def render_cdf(name: str, xs: np.ndarray, ys: np.ndarray,
+               x_label: str, n_points: int = 8) -> str:
+    """Render a CDF as a compact row of (x: cdf) samples."""
+    xs = np.asarray(xs)
+    ys = np.asarray(ys)
+    if len(xs) == 0:
+        return f"{name}: (empty)"
+    picks = np.unique(
+        np.linspace(0, len(xs) - 1, min(n_points, len(xs))).astype(int)
+    )
+    samples = "  ".join(f"{x_label}<={xs[i]}: {ys[i]:.2f}" for i in picks)
+    return f"{name}: {samples}"
+
+
+def render_dse(points: list[dict], title: str) -> str:
+    """Render Figure 20: area vs gmean speedup points."""
+    lines = [
+        title,
+        f"{'PEs':>4}{'T':>4}{'MB':>6}{'PHYs':>5}{'area mm2':>10}"
+        f"{'gmean speedup':>15}",
+    ]
+    for p in sorted(points, key=lambda q: q["area_mm2"]):
+        mark = "  <- selected" if p.get("selected") else ""
+        lines.append(
+            f"{p['n_pes']:>4}{p['tile']:>4}{p['cache_mb']:>6.0f}"
+            f"{p['hbm_phys']:>5}{p['area_mm2']:>10.1f}"
+            f"{p['gmean_speedup']:>15.1f}{mark}"
+        )
+    return "\n".join(lines)

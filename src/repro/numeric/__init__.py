@@ -1,0 +1,45 @@
+"""Numeric factorization and solve (the functional model).
+
+This subpackage is the *algorithmic* reference implementation of everything
+Spatula accelerates: dense tile kernels, multifrontal Cholesky and LU over
+CSQ fronts, sparse triangular solves, and an end-to-end ``analyze /
+factorize / solve`` API mirroring the solver structure of Figure 2.
+
+The Spatula simulator (:mod:`repro.arch`) models the *timing* of this exact
+computation; tests verify the two agree on work performed, and that this
+model's factors satisfy ||A - LL^T|| (resp. ||A - LU||) ~ machine epsilon.
+"""
+
+from repro.numeric.dense import (
+    dense_cholesky,
+    dense_lu_nopivot,
+    tsolve_lower_inplace,
+    tsolve_upper_inplace,
+)
+from repro.numeric.cholesky import CholeskyFactor, multifrontal_cholesky
+from repro.numeric.lu import LUFactors, multifrontal_lu
+from repro.numeric.triangular import (
+    solve_lower_csc,
+    solve_upper_csc,
+)
+from repro.numeric.refinement import RefinementResult, iterative_refinement
+from repro.numeric.supernodal_solve import cholesky_solve, lu_solve
+from repro.numeric.solver import SparseSolver
+
+__all__ = [
+    "dense_cholesky",
+    "dense_lu_nopivot",
+    "tsolve_lower_inplace",
+    "tsolve_upper_inplace",
+    "CholeskyFactor",
+    "multifrontal_cholesky",
+    "LUFactors",
+    "multifrontal_lu",
+    "solve_lower_csc",
+    "solve_upper_csc",
+    "RefinementResult",
+    "iterative_refinement",
+    "cholesky_solve",
+    "lu_solve",
+    "SparseSolver",
+]

@@ -1,0 +1,132 @@
+"""Dense kernels: the numeric payload of Spatula's task types (Table 1).
+
+These are the computations a PE's systolic array performs.  They are written
+as explicit loop-free NumPy implementations of the textbook algorithms the
+paper cites (Brent & Luk's systolic Cholesky computes the same factor;
+Kung & Leiserson's systolic tsolve computes the same solve) and validated
+against ``numpy.linalg`` in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_cholesky(a: np.ndarray) -> np.ndarray:
+    """In-place-style dense Cholesky of the leading principal block.
+
+    Returns the lower-triangular L with A = L @ L.T.  Implements exactly the
+    loop nest of Listing 1 (vectorized per pivot), the computation a dchol
+    task performs on a diagonal tile.
+
+    Raises ValueError on a non-positive pivot (matrix not SPD).
+    """
+    m = np.array(a, dtype=np.float64, copy=True)
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ValueError("dense_cholesky requires a square matrix")
+    for i in range(n):
+        pivot = m[i, i]
+        if pivot <= 0.0 or not np.isfinite(pivot):
+            raise ValueError(f"non-SPD pivot {pivot} at index {i}")
+        m[i, i] = np.sqrt(pivot)
+        m[i + 1:, i] /= m[i, i]
+        # Outer-product update of the trailing lower triangle.
+        m[i + 1:, i + 1:] -= np.outer(m[i + 1:, i], m[i + 1:, i])
+    return np.tril(m)
+
+
+def dense_lu_nopivot(a: np.ndarray,
+                     perturb: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Dense LU without pivoting (static pivoting happens beforehand).
+
+    Returns (L, U) with unit-diagonal L.  ``perturb`` is the static-pivoting
+    small-pivot bump: pivots with |pivot| < perturb are replaced by
+    +/- perturb, trading a tiny residual for stability (Li & Demmel).
+    """
+    m = np.array(a, dtype=np.float64, copy=True)
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ValueError("dense_lu requires a square matrix")
+    for k in range(n):
+        pivot = m[k, k]
+        if abs(pivot) < perturb:
+            pivot = perturb if pivot >= 0 else -perturb
+            m[k, k] = pivot
+        if pivot == 0.0:
+            raise ValueError(f"zero pivot at index {k}")
+        m[k + 1:, k] /= pivot
+        m[k + 1:, k + 1:] -= np.outer(m[k + 1:, k], m[k, k + 1:])
+    lower = np.tril(m, -1) + np.eye(n)
+    upper = np.triu(m)
+    return lower, upper
+
+
+def tsolve_lower_inplace(block: np.ndarray, lower: np.ndarray) -> np.ndarray:
+    """Solve X @ lower.T = block for X (the Cholesky panel tsolve).
+
+    This is the tsolve task of Figure 11: given the factored diagonal tile
+    ``lower`` (L11) and a subdiagonal block B, compute L21 = B @ L11^-T.
+    """
+    # Forward substitution, column at a time (matches the systolic flow).
+    x = np.array(block, dtype=np.float64, copy=True)
+    n = lower.shape[0]
+    for j in range(n):
+        x[:, j] /= lower[j, j]
+        if j + 1 < n:
+            x[:, j + 1:] -= np.outer(x[:, j], lower[j + 1:, j])
+    return x
+
+
+def tsolve_upper_inplace(block: np.ndarray, lower_unit: np.ndarray
+                         ) -> np.ndarray:
+    """Solve lower_unit @ X = block for X (the LU U-panel tsolve).
+
+    ``lower_unit`` is the unit-diagonal L11 of a dlu task's output; the
+    result is the U12 panel.
+    """
+    x = np.array(block, dtype=np.float64, copy=True)
+    n = lower_unit.shape[0]
+    for i in range(n):
+        if i:
+            x[i, :] -= lower_unit[i, :i] @ x[:i, :]
+        # Unit diagonal: no divide.
+    return x
+
+
+def partial_cholesky(front: np.ndarray, n_pivots: int) -> np.ndarray:
+    """Run ``n_pivots`` Cholesky steps on a front, in place (Listing 2).
+
+    After the call, the leading ``n_pivots`` columns hold final L values and
+    the trailing block holds the Schur-complement update matrix (negated
+    contributions already applied).
+    """
+    f = front
+    r = f.shape[0]
+    for i in range(n_pivots):
+        pivot = f[i, i]
+        if pivot <= 0.0 or not np.isfinite(pivot):
+            raise ValueError(f"non-SPD pivot {pivot} at front position {i}")
+        f[i, i] = np.sqrt(pivot)
+        if i + 1 < r:
+            f[i + 1:, i] /= f[i, i]
+            f[i + 1:, i + 1:] -= np.outer(f[i + 1:, i], f[i + 1:, i])
+    return f
+
+
+def partial_lu(front: np.ndarray, n_pivots: int,
+               perturb: float = 0.0) -> np.ndarray:
+    """Run ``n_pivots`` LU steps on a full-square front, in place."""
+    f = front
+    r = f.shape[0]
+    for k in range(n_pivots):
+        pivot = f[k, k]
+        if abs(pivot) < perturb:
+            pivot = perturb if pivot >= 0 else -perturb
+            f[k, k] = pivot
+        if pivot == 0.0:
+            raise ValueError(f"zero pivot at front position {k}")
+        if k + 1 < r:
+            f[k + 1:, k] /= f[k, k]
+            f[k + 1:, k + 1:] -= np.outer(f[k + 1:, k], f[k, k + 1:])
+    return f

@@ -1,0 +1,80 @@
+"""Iterative refinement.
+
+Static pivoting (Section 2.4) trades pivot quality for a static task
+graph; the standard companion — used by SuperLU-DIST and every
+static-pivoted solver — is iterative refinement: after the direct solve,
+repeatedly solve for the residual correction
+
+    r = b - A x;   A dx = r;   x += dx
+
+using the same (slightly perturbed) factors.  Each sweep costs only two
+triangular solves, and a handful of sweeps recovers full precision even
+when pivots were perturbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of iterative refinement."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    history: list[float]
+
+
+def iterative_refinement(
+    matrix: CSCMatrix,
+    solve,
+    b: np.ndarray,
+    max_iterations: int = 10,
+    tolerance: float = 1e-14,
+) -> RefinementResult:
+    """Refine a direct solve to (near) working precision.
+
+    Args:
+        matrix: the original matrix A.
+        solve: a callable computing an (approximate) solution of A y = r —
+            typically ``SparseSolver.solve``.
+        b: right-hand side.
+        max_iterations: refinement sweep limit.
+        tolerance: stop when the relative residual drops below this.
+
+    Returns:
+        the refined solution plus convergence diagnostics.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    x = solve(b)
+    history: list[float] = []
+    rel = float(np.linalg.norm(matrix.matvec(x) - b)) / b_norm
+    history.append(rel)
+    iterations = 0
+    while rel > tolerance and iterations < max_iterations:
+        r = b - matrix.matvec(x)
+        x = x + solve(r)
+        iterations += 1
+        new_rel = float(np.linalg.norm(matrix.matvec(x) - b)) / b_norm
+        history.append(new_rel)
+        if new_rel >= rel * 0.5:
+            # Stagnation: further sweeps cannot help (the factorization
+            # is too inaccurate or the matrix too ill-conditioned).
+            rel = min(rel, new_rel)
+            break
+        rel = new_rel
+    return RefinementResult(
+        x=x,
+        iterations=iterations,
+        residual_norm=rel,
+        converged=rel <= tolerance,
+        history=history,
+    )

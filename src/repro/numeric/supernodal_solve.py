@@ -1,0 +1,101 @@
+"""Supernodal (blocked) triangular solves.
+
+The CSC solves in :mod:`repro.numeric.triangular` process one column at a
+time.  Real multifrontal packages instead solve supernode-by-supernode
+with dense panels — the same block structure the factorization produced —
+which turns the solve into a sequence of small BLAS-2 operations.  This
+module implements that blocked solve directly on the
+:class:`~repro.numeric.cholesky.CholeskyFactor` /
+:class:`~repro.numeric.lu.LUFactors` outputs, avoiding the CSC
+materialization entirely.
+
+Forward solve (L y = b), per supernode in postorder:
+    y_sn   = L11^-1 b_sn                 (dense triangular solve)
+    b_rest -= L21 @ y_sn                 (panel update, scattered by rows)
+Backward solve (L^T x = y) runs the supernodes in reverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numeric.cholesky import CholeskyFactor
+from repro.numeric.lu import LUFactors
+
+
+def _solve_lower_unit_dense(tri: np.ndarray, rhs: np.ndarray,
+                            unit: bool) -> np.ndarray:
+    """Forward substitution against a dense lower-triangular panel."""
+    n = tri.shape[0]
+    y = rhs.astype(np.float64, copy=True)
+    for j in range(n):
+        if not unit:
+            y[j] /= tri[j, j]
+        if j + 1 < n:
+            y[j + 1:] -= tri[j + 1:, j] * y[j]
+    return y
+
+
+def _solve_upper_dense(tri: np.ndarray, rhs: np.ndarray,
+                       unit: bool) -> np.ndarray:
+    """Backward substitution against a dense upper-triangular panel."""
+    n = tri.shape[0]
+    x = rhs.astype(np.float64, copy=True)
+    for j in range(n - 1, -1, -1):
+        if not unit:
+            x[j] /= tri[j, j]
+        if j > 0:
+            x[:j] -= tri[:j, j] * x[j]
+    return x
+
+
+def cholesky_solve(factor: CholeskyFactor, b: np.ndarray) -> np.ndarray:
+    """Solve (L L^T) x = b using the supernodal factor directly.
+
+    ``b`` is in the *permuted* index space (callers apply the fill
+    permutation, as :class:`repro.numeric.solver.SparseSolver` does).
+    """
+    supernodes = factor.symbolic.tree.supernodes
+    y = np.asarray(b, dtype=np.float64).copy()
+    # Forward: L y = b, supernodes in postorder.
+    for sn, (rows, block) in zip(supernodes, factor.columns):
+        k = sn.n_cols
+        panel = block[:k, :]              # L11 (lower triangular)
+        y_sn = _solve_lower_unit_dense(panel, y[rows[:k]], unit=False)
+        y[rows[:k]] = y_sn
+        if len(rows) > k:
+            y[rows[k:]] -= block[k:, :] @ y_sn
+    # Backward: L^T x = y, supernodes in reverse.
+    x = y
+    for sn, (rows, block) in zip(reversed(supernodes),
+                                 reversed(factor.columns)):
+        k = sn.n_cols
+        rhs = x[rows[:k]].copy()
+        if len(rows) > k:
+            rhs -= block[k:, :].T @ x[rows[k:]]
+        x[rows[:k]] = _solve_upper_dense(block[:k, :].T, rhs, unit=False)
+    return x
+
+
+def lu_solve(factors: LUFactors, b: np.ndarray) -> np.ndarray:
+    """Solve (L U) x = b using the supernodal factors directly."""
+    supernodes = factors.symbolic.tree.supernodes
+    y = np.asarray(b, dtype=np.float64).copy()
+    # Forward: L y = b (unit-diagonal L).
+    for sn, (rows, l_block, _u_block) in zip(supernodes, factors.fronts):
+        k = sn.n_cols
+        panel = np.tril(l_block[:k, :], -1) + np.eye(k)
+        y_sn = _solve_lower_unit_dense(panel, y[rows[:k]], unit=True)
+        y[rows[:k]] = y_sn
+        if len(rows) > k:
+            y[rows[k:]] -= l_block[k:, :] @ y_sn
+    # Backward: U x = y.
+    x = y
+    for sn, (rows, _l_block, u_block) in zip(reversed(supernodes),
+                                             reversed(factors.fronts)):
+        k = sn.n_cols
+        rhs = x[rows[:k]].copy()
+        if len(rows) > k:
+            rhs -= u_block[:, k:] @ x[rows[k:]]
+        x[rows[:k]] = _solve_upper_dense(u_block[:k, :k], rhs, unit=False)
+    return x

@@ -1,0 +1,33 @@
+"""Fill-reducing orderings and static pivoting.
+
+Symbolic factorization quality (and hence the supernode structure the whole
+paper revolves around) depends on a fill-reducing permutation of the matrix.
+This subpackage implements the standard ordering toolbox used by multifrontal
+packages:
+
+* :func:`minimum_degree` — quotient-graph minimum degree (AMD-family);
+* :func:`rcm` — reverse Cuthill-McKee (bandwidth reduction);
+* :func:`nested_dissection` — recursive vertex-separator bisection;
+* :func:`static_pivoting` — row matching that moves large entries to the
+  diagonal for numerically stable LU without dynamic pivoting (Section 2.4).
+
+All orderings return a permutation array ``perm`` mapping new index -> old
+index, usable directly with :meth:`repro.sparse.CSCMatrix.permuted`.
+"""
+
+from repro.ordering.graph import adjacency_sets, pattern_graph
+from repro.ordering.mindeg import minimum_degree
+from repro.ordering.rcm import rcm
+from repro.ordering.dissection import nested_dissection
+from repro.ordering.pivoting import static_pivoting
+from repro.ordering.api import fill_reducing_ordering
+
+__all__ = [
+    "adjacency_sets",
+    "pattern_graph",
+    "minimum_degree",
+    "rcm",
+    "nested_dissection",
+    "static_pivoting",
+    "fill_reducing_ordering",
+]

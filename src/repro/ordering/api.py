@@ -1,0 +1,34 @@
+"""Top-level ordering entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ordering.dissection import nested_dissection
+from repro.ordering.mindeg import minimum_degree
+from repro.ordering.rcm import rcm
+from repro.sparse.csc import CSCMatrix
+
+_METHODS = ("amd", "nd", "rcm", "natural")
+
+
+def fill_reducing_ordering(
+    matrix: CSCMatrix, method: str = "amd"
+) -> np.ndarray:
+    """Compute a fill-reducing permutation (new index -> old index).
+
+    Args:
+        matrix: square sparse matrix (symmetrized pattern is used).
+        method: "amd" (quotient-graph minimum degree), "nd" (nested
+            dissection), "rcm" (reverse Cuthill-McKee), or "natural"
+            (identity — useful for matrices pre-ordered by the generator).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown ordering {method!r}; choose from {_METHODS}")
+    if method == "amd":
+        return minimum_degree(matrix)
+    if method == "nd":
+        return nested_dissection(matrix)
+    if method == "rcm":
+        return rcm(matrix)
+    return np.arange(matrix.n_rows, dtype=np.int64)

@@ -1,0 +1,177 @@
+"""Quotient-graph approximate minimum degree ordering (AMD).
+
+This is the ordering family packages like CHOLMOD use by default.  We
+implement the quotient-graph formulation with Amestoy-Davis-Duff
+approximate degrees: eliminated vertices become *elements*; a variable's
+adjacency is its remaining direct neighbors plus the union of the
+variables of its adjacent elements.
+
+The degree of a neighbor u of the pivot p is estimated as
+
+    d(u) = |direct vars| + |L_p \\ u| + sum over elements e of |L_e \\ L_p|
+
+where the overlap |L_e intersect L_p| is computed for all touched elements
+in one counting pass (the "w" trick of the AMD paper).  This is exact when
+u's elements overlap only through L_p — the common case — and an upper
+bound otherwise, which is what makes AMD fast *and* high-quality on mesh
+problems.  Elements fully covered by L_p are absorbed.  Indistinguishable
+variables are merged into supervariables (weighted by member count), which
+also seeds good supernodes.
+
+Hub/dense vertices are deferred to the end of the ordering (the standard
+dense-row guard), which matters for the power-law circuit matrices in the
+evaluation suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.ordering.graph import pattern_graph
+from repro.sparse.csc import CSCMatrix
+
+
+def minimum_degree(matrix: CSCMatrix,
+                   dense_threshold: float = 0.5) -> np.ndarray:
+    """Compute an approximate-minimum-degree permutation.
+
+    Args:
+        matrix: the matrix to order; its symmetrized pattern is used.
+        dense_threshold: variables whose degree exceeds this fraction of the
+            remaining vertices are deferred to the end (the usual "dense
+            row" guard against hub vertices).
+
+    Returns:
+        perm mapping new index -> old index.
+    """
+    n = matrix.n_rows
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("minimum degree requires a square matrix")
+    indptr, indices = pattern_graph(matrix)
+
+    var_nbrs: list[set[int]] = [
+        set(indices[indptr[v]:indptr[v + 1]].tolist()) for v in range(n)
+    ]
+    elem_nbrs: list[set[int]] = [set() for _ in range(n)]
+    elem_vars: dict[int, set[int]] = {}
+    weight = np.ones(n, dtype=np.int64)  # supervariable member counts
+    members: list[list[int]] = [[v] for v in range(n)]
+    alive = np.ones(n, dtype=bool)
+    degree = np.array([len(s) for s in var_nbrs], dtype=np.int64)
+
+    heap: list[tuple[int, int]] = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    order: list[int] = []
+    deferred: list[tuple[int, int]] = []
+    remaining = n
+
+    def esize(e: int) -> int:
+        return int(sum(weight[x] for x in elem_vars[e] if alive[x]))
+
+    while remaining > 0:
+        entry = None
+        while heap:
+            deg, v = heapq.heappop(heap)
+            if alive[v] and deg == degree[v]:
+                entry = (deg, v)
+                break
+        if entry is None:
+            live = [u for u in range(n) if alive[u]]
+            if not live:
+                break
+            heap = [(int(degree[u]), u) for u in live]
+            heapq.heapify(heap)
+            continue
+        deg, v = entry
+        if remaining > 32 and deg > dense_threshold * remaining:
+            alive[v] = False
+            deferred.append((deg, v))
+            remaining -= len(members[v])
+            continue
+
+        # Form element p = v: its variables are v's full adjacency.
+        adj = set(var_nbrs[v])
+        for e in elem_nbrs[v]:
+            adj |= elem_vars[e]
+        adj.discard(v)
+        adj = {u for u in adj if alive[u]}
+
+        alive[v] = False
+        order.extend(members[v])
+        remaining -= len(members[v])
+        elem_vars[v] = adj
+        absorbed = set(elem_nbrs[v])
+        for u in adj:
+            elem_nbrs[u] -= absorbed
+            elem_nbrs[u].add(v)
+            var_nbrs[u].discard(v)
+            var_nbrs[u] -= adj  # clique edges become implicit via p
+        for e in absorbed:
+            elem_vars.pop(e, None)
+
+        # Amestoy's counting pass: overlap of every touched element with
+        # L_p, plus memoized element sizes for this round.
+        overlap: dict[int, int] = {}
+        sizes: dict[int, int] = {}
+        for u in adj:
+            wu = int(weight[u])
+            for e in elem_nbrs[u]:
+                if e == v:
+                    continue
+                overlap[e] = overlap.get(e, 0) + wu
+        for e in overlap:
+            sizes[e] = esize(e)
+
+        adj_weight = int(sum(weight[u] for u in adj))
+
+        # Degree update + element absorption + supervariable merging.
+        signature: dict[tuple, int] = {}
+        for u in list(adj):
+            if not alive[u]:
+                continue
+            # Absorb elements entirely covered by L_p.
+            dead_elems = {
+                e for e in elem_nbrs[u]
+                if e != v and sizes.get(e, 1) == overlap.get(e, 0)
+            }
+            if dead_elems:
+                elem_nbrs[u] -= dead_elems
+                for e in dead_elems:
+                    elem_vars.pop(e, None)
+            ext = adj_weight - int(weight[u])
+            ext += int(sum(weight[x] for x in var_nbrs[u] if alive[x]))
+            for e in elem_nbrs[u]:
+                if e == v:
+                    continue
+                ext += max(0, sizes.get(e, esize(e)) - overlap.get(e, 0))
+            degree[u] = max(1, min(ext, remaining - 1)) \
+                if remaining > 1 else 0
+
+            # Supervariable detection: cheap exact signature on small
+            # adjacencies (the common interior-of-mesh case).
+            if len(var_nbrs[u]) <= 8 and len(elem_nbrs[u]) <= 4:
+                sig = (frozenset(elem_nbrs[u]), frozenset(var_nbrs[u]))
+                twin = signature.get(sig)
+                if twin is not None and alive[twin] and twin != u:
+                    members[twin].extend(members[u])
+                    weight[twin] += weight[u]
+                    alive[u] = False
+                    for e in elem_nbrs[u]:
+                        if e in elem_vars:
+                            elem_vars[e].discard(u)
+                    for x in var_nbrs[u]:
+                        var_nbrs[x].discard(u)
+                    heapq.heappush(heap, (int(degree[twin]), twin))
+                    continue
+                signature[sig] = u
+            heapq.heappush(heap, (int(degree[u]), u))
+
+    for _deg, v in sorted(deferred):
+        order.extend(members[v])
+    if len(order) != n:
+        raise AssertionError(
+            f"minimum degree ordered {len(order)} of {n} vertices"
+        )
+    return np.asarray(order, dtype=np.int64)

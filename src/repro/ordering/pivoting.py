@@ -1,0 +1,103 @@
+"""Static pivoting for sparse LU (Section 2.4).
+
+Following Li & Demmel's static-pivoting approach (SuperLU-DIST), we permute
+rows *before* factorization so that large entries land on the diagonal, then
+factor without dynamic pivoting.  The row permutation is computed as a
+weight-greedy bipartite matching with Kuhn-style augmentation, a practical
+stand-in for MC64: every column is matched to some row (so the diagonal is
+structurally nonzero) and the greedy phase prefers the largest magnitudes.
+
+:func:`apply_static_pivoting` also supports the small-pivot perturbation
+used by static-pivoted solvers: pivots smaller than
+``sqrt(eps) * ||A||_max`` are bumped during numeric factorization (see
+``repro.numeric.lu``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+
+def static_pivoting(matrix: CSCMatrix) -> np.ndarray:
+    """Compute a row permutation moving large entries onto the diagonal.
+
+    Returns ``row_perm`` with ``row_perm[j]`` = the original row placed at
+    row ``j``, i.e. the permuted matrix is ``A[row_perm, :]`` and its
+    diagonal entry in column ``j`` is ``A[row_perm[j], j]``.
+
+    Raises ValueError if the matrix is structurally singular (no perfect
+    matching between rows and columns exists).
+    """
+    n = matrix.n_rows
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("static pivoting requires a square matrix")
+
+    # match_col[j] = row matched to column j; match_row[i] = column of row i.
+    match_col = np.full(n, -1, dtype=np.int64)
+    match_row = np.full(n, -1, dtype=np.int64)
+
+    # Greedy phase: visit columns by decreasing best-entry magnitude, match
+    # each to its largest unmatched row.
+    best = np.zeros(n)
+    for j in range(n):
+        vals = matrix.col_vals(j)
+        best[j] = np.abs(vals).max() if len(vals) else 0.0
+    for j in np.argsort(-best):
+        j = int(j)
+        rows = matrix.col_rows(j)
+        vals = np.abs(matrix.col_vals(j))
+        for k in np.argsort(-vals):
+            i = int(rows[k])
+            if match_row[i] < 0:
+                match_row[i] = j
+                match_col[j] = i
+                break
+
+    # Augmentation phase (Kuhn's algorithm): complete the matching for any
+    # columns the greedy pass left unmatched.
+    import sys
+
+    def augment(j: int, seen_rows: set[int]) -> bool:
+        for i in matrix.col_rows(j):
+            i = int(i)
+            if i in seen_rows:
+                continue
+            seen_rows.add(i)
+            if match_row[i] < 0 or augment(int(match_row[i]), seen_rows):
+                match_row[i] = j
+                match_col[j] = i
+                return True
+        return False
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, n + 100))
+    try:
+        for j in range(n):
+            if match_col[j] < 0 and not augment(j, set()):
+                raise ValueError("matrix is structurally singular")
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # Column j should receive original row match_col[j].
+    return match_col.copy()
+
+
+def apply_static_pivoting(matrix: CSCMatrix) -> tuple[CSCMatrix, np.ndarray]:
+    """Row-permute a matrix so large entries sit on the diagonal.
+
+    Returns (permuted matrix, row_perm) with the convention of
+    :func:`static_pivoting`.
+    """
+    row_perm = static_pivoting(matrix)
+    inverse = np.empty_like(row_perm)
+    inverse[row_perm] = np.arange(len(row_perm))
+    coo = matrix.to_coo()
+    from repro.sparse.coo import COOMatrix
+
+    permuted = COOMatrix(
+        matrix.n_rows, matrix.n_cols,
+        inverse[coo.rows], coo.cols, coo.vals,
+    )
+    return CSCMatrix.from_coo(permuted), row_perm

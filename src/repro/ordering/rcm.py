@@ -1,0 +1,48 @@
+"""Reverse Cuthill-McKee ordering.
+
+Bandwidth-reducing BFS ordering: cheap, deterministic, and a good choice for
+long thin mesh problems.  Also used as the leaf ordering inside nested
+dissection.  Validated against ``scipy.sparse.csgraph.reverse_cuthill_mckee``
+in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ordering.graph import pattern_graph, pseudo_peripheral_vertex
+from repro.sparse.csc import CSCMatrix
+
+
+def rcm(matrix: CSCMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee permutation (new index -> old index)."""
+    n = matrix.n_rows
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("RCM requires a square matrix")
+    indptr, indices = pattern_graph(matrix)
+    degrees = np.diff(indptr)
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+
+    for component_seed in np.argsort(degrees):
+        seed = int(component_seed)
+        if visited[seed]:
+            continue
+        start = pseudo_peripheral_vertex(indptr, indices, seed,
+                                         mask=~visited)
+        # Cuthill-McKee BFS: visit neighbors in increasing-degree order.
+        visited[start] = True
+        queue = [start]
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order.append(v)
+            nbrs = indices[indptr[v]:indptr[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            fresh = fresh[np.argsort(degrees[fresh], kind="stable")]
+            for u in fresh:
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(int(u))
+    return np.asarray(order[::-1], dtype=np.int64)

@@ -1,0 +1,60 @@
+"""Sparse matrix substrate: formats, IO, and synthetic matrix generators.
+
+This subpackage provides the minimal-but-complete sparse linear algebra
+foundation the rest of the reproduction builds on.  It deliberately avoids
+``scipy.sparse`` for its core data structures so that every operation the
+paper relies on (CSC traversal, pattern symmetrization, triangular
+extraction) is implemented and testable here; scipy is used only in tests as
+an independent oracle.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.generators import (
+    arrow_spd,
+    arrow_unsym,
+    banded_spd,
+    bipartite_cover,
+    circuit_like,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    grid_unsym_2d,
+    grid_unsym_3d,
+    power_law_spd,
+    random_spd,
+    random_unsymmetric,
+)
+from repro.sparse.suite import (
+    MatrixSpec,
+    cholesky_suite,
+    get_matrix,
+    get_spec,
+    lu_suite,
+    suite_names,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "read_matrix_market",
+    "write_matrix_market",
+    "arrow_spd",
+    "arrow_unsym",
+    "banded_spd",
+    "bipartite_cover",
+    "circuit_like",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "grid_unsym_2d",
+    "grid_unsym_3d",
+    "power_law_spd",
+    "random_spd",
+    "random_unsymmetric",
+    "MatrixSpec",
+    "cholesky_suite",
+    "lu_suite",
+    "get_matrix",
+    "get_spec",
+    "suite_names",
+]

@@ -1,0 +1,345 @@
+"""Synthetic sparse matrix generators.
+
+The paper evaluates on SuiteSparse matrices from circuit simulation,
+structural analysis, fluid dynamics, and optimization (Section 7.1).  Those
+cannot be downloaded offline, so these generators produce matrices with the
+same *structural* character — the property that actually drives the paper's
+results, via the supernode size distribution (Figure 6):
+
+* 3-D grid stencils  -> large supernodes (structural / geo / CFD matrices);
+* 2-D grid stencils  -> mid/small supernodes (apache2, G3_circuit, thermal);
+* power-law graphs   -> tiny supernodes, deep irregular trees (FullChip,
+  rajat31, ASIC_680k circuit matrices);
+* dense-ish random   -> few huge supernodes (human_gene1, nd24k, appu);
+* block-arrow        -> optimization / KKT structure (kkt_power).
+
+All generators are deterministic given a seed and return SPD (for Cholesky)
+or diagonally dominant unsymmetric (for LU with static pivoting) matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+
+def _spd_from_pattern(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> CSCMatrix:
+    """Build an SPD matrix with the symmetrized pattern of (rows, cols).
+
+    Off-diagonal values are random in [-1, -0.1]; the diagonal is set to
+    (row sum of |off-diagonals|) + 1, which makes the matrix strictly
+    diagonally dominant with positive diagonal, hence SPD.
+    """
+    off = rows != cols
+    rows, cols = rows[off], cols[off]
+    # Symmetrize the pattern.
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    vals = -(0.1 + 0.9 * rng.random(len(rows)))
+    all_vals = np.concatenate([vals, vals])
+    coo = COOMatrix(n, n, all_rows, all_cols, all_vals).deduplicated()
+    # Diagonally dominant diagonal.
+    diag = np.ones(n)
+    np.add.at(diag, coo.rows, np.abs(coo.vals))
+    rows_f = np.concatenate([coo.rows, np.arange(n)])
+    cols_f = np.concatenate([coo.cols, np.arange(n)])
+    vals_f = np.concatenate([coo.vals, diag])
+    return CSCMatrix.from_coo(COOMatrix(n, n, rows_f, cols_f, vals_f))
+
+
+def _unsym_from_pattern(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> CSCMatrix:
+    """Build a diagonally dominant unsymmetric matrix from a pattern.
+
+    Diagonal dominance keeps LU with static pivoting numerically stable, as
+    assumed by the paper's static-pivoting preprocessing (Section 2.4).
+    """
+    off = rows != cols
+    rows, cols = rows[off], cols[off]
+    vals = rng.uniform(-1.0, 1.0, len(rows))
+    coo = COOMatrix(n, n, rows, cols, vals).deduplicated()
+    diag = np.ones(n)
+    np.add.at(diag, coo.rows, np.abs(coo.vals))
+    rows_f = np.concatenate([coo.rows, np.arange(n)])
+    cols_f = np.concatenate([coo.cols, np.arange(n)])
+    vals_f = np.concatenate([coo.vals, diag])
+    return CSCMatrix.from_coo(COOMatrix(n, n, rows_f, cols_f, vals_f))
+
+
+def _grid_edges_2d(nx: int, ny: int) -> tuple[np.ndarray, np.ndarray]:
+    """Edges of the 5-point stencil on an nx-by-ny grid (one direction)."""
+    idx = np.arange(nx * ny).reshape(nx, ny)
+    horiz = (idx[:, :-1].ravel(), idx[:, 1:].ravel())
+    vert = (idx[:-1, :].ravel(), idx[1:, :].ravel())
+    rows = np.concatenate([horiz[0], vert[0]])
+    cols = np.concatenate([horiz[1], vert[1]])
+    return rows, cols
+
+
+def _grid_edges_3d(nx: int, ny: int, nz: int) -> tuple[np.ndarray, np.ndarray]:
+    """Edges of the 7-point stencil on an nx-by-ny-by-nz grid."""
+    idx = np.arange(nx * ny * nz).reshape(nx, ny, nz)
+    pairs = [
+        (idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()),
+        (idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()),
+        (idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()),
+    ]
+    rows = np.concatenate([p[0] for p in pairs])
+    cols = np.concatenate([p[1] for p in pairs])
+    return rows, cols
+
+
+def grid_laplacian_2d(nx: int, ny: int | None = None, seed: int = 0) -> CSCMatrix:
+    """SPD 5-point-stencil matrix on an nx-by-ny grid.
+
+    Models 2-D PDE discretizations (thermal, electrostatics).  With a good
+    ordering these matrices have moderate supernodes — the "mid-range" of
+    Figure 6.
+    """
+    ny = nx if ny is None else ny
+    rows, cols = _grid_edges_2d(nx, ny)
+    return _spd_from_pattern(rows, cols, nx * ny, np.random.default_rng(seed))
+
+
+def grid_laplacian_3d(
+    nx: int, ny: int | None = None, nz: int | None = None, seed: int = 0
+) -> CSCMatrix:
+    """SPD 7-point-stencil matrix on a 3-D grid.
+
+    Models 3-D structural / geomechanical / CFD problems — these produce the
+    large supernodes that dominate FLOPs in matrices like Serena and
+    atmosmodd (Figure 6, top).
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    rows, cols = _grid_edges_3d(nx, ny, nz)
+    return _spd_from_pattern(rows, cols, nx * ny * nz, np.random.default_rng(seed))
+
+
+def _preferential_attachment_edges(
+    n: int, edges_per_node: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Barabasi-Albert-style edge list with power-law degree distribution.
+
+    Uses the endpoint-sampling trick: sampling uniformly from the list of
+    edge endpoints is equivalent to degree-proportional sampling.
+    """
+    m = edges_per_node
+    rows: list[int] = []
+    cols: list[int] = []
+    endpoints: list[int] = list(range(m + 1))
+    for new in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            pick = endpoints[rng.integers(0, len(endpoints))]
+            targets.add(pick)
+        for t in targets:
+            rows.append(new)
+            cols.append(t)
+            endpoints.append(new)
+            endpoints.append(t)
+    return np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)
+
+
+def _circuit_pattern(
+    n: int, hub_fraction: float, rng: np.random.Generator,
+    aspect: int = 16,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Edge pattern of a chip-like netlist graph.
+
+    Local wiring forms a narrow strip grid (width ``aspect``): circuit
+    graphs have small separators relative to their size, so even the best
+    ordering yields only small supernodes — the defining FullChip property
+    (Figure 6, bottom: the largest supernode is 0.1% of n, vs ~1% for 3-D
+    meshes).  On top, power-law "global nets" (clock, power, long wires)
+    connect random cells to hub nodes via preferential attachment, and
+    node labels are shuffled (placement order is unrelated to netlist
+    order).
+    """
+    width = max(2, aspect)
+    length = max(2, n // width)
+    n_actual = width * length
+    grid_rows, grid_cols = _grid_edges_2d(width, length)
+    n_hub_edges = int(hub_fraction * n_actual)
+    hub_rows, hub_cols = _preferential_attachment_edges(
+        n_actual, 1, rng
+    )
+    pick = rng.permutation(len(hub_rows))[:n_hub_edges]
+    rows = np.concatenate([grid_rows, hub_rows[pick]])
+    cols = np.concatenate([grid_cols, hub_cols[pick]])
+    relabel = rng.permutation(n_actual)
+    return relabel[rows], relabel[cols], n_actual
+
+
+def circuit_like(n: int, hub_fraction: float = 0.15,
+                 aspect: int = 16, seed: int = 0) -> CSCMatrix:
+    """Unsymmetric circuit-simulation-style matrix (for LU).
+
+    Grid-local wiring plus power-law global nets (see
+    :func:`_circuit_pattern`); structurally near-symmetric (as in modified
+    nodal analysis) but numerically unsymmetric.  The resulting elimination
+    trees are deep with tiny supernodes — pathological for batched GPU
+    execution, exactly the FullChip / rajat31 behaviour.
+
+    Note: n is rounded to a multiple of ``aspect`` (the strip width).
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols, n_actual = _circuit_pattern(n, hub_fraction, rng,
+                                            aspect=aspect)
+    # Near-symmetric pattern: drop one direction for a random 10% of edges.
+    keep = rng.random(len(rows)) > 0.1
+    all_rows = np.concatenate([rows, cols[keep]])
+    all_cols = np.concatenate([cols, rows[keep]])
+    return _unsym_from_pattern(all_rows, all_cols, n_actual, rng)
+
+
+def power_law_spd(n: int, hub_fraction: float = 0.15,
+                  aspect: int = 16, seed: int = 0) -> CSCMatrix:
+    """SPD circuit-style matrix (G3_circuit, for Cholesky).
+
+    Same chip-like pattern as :func:`circuit_like`, symmetrized and made
+    diagonally dominant.  Note: n is rounded to a multiple of ``aspect``.
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols, n_actual = _circuit_pattern(n, hub_fraction, rng,
+                                            aspect=aspect)
+    return _spd_from_pattern(rows, cols, n_actual, rng)
+
+
+def random_spd(n: int, density: float = 0.01, seed: int = 0) -> CSCMatrix:
+    """SPD matrix with a uniformly random pattern.
+
+    Relatively dense random patterns produce a few huge supernodes after
+    fill-in — the structure of human_gene1 / nd24k-style matrices.
+    """
+    rng = np.random.default_rng(seed)
+    nnz_target = max(n, int(density * n * n / 2))
+    rows = rng.integers(0, n, nnz_target)
+    cols = rng.integers(0, n, nnz_target)
+    return _spd_from_pattern(rows, cols, n, rng)
+
+
+def random_unsymmetric(n: int, density: float = 0.01, seed: int = 0) -> CSCMatrix:
+    """Diagonally dominant unsymmetric matrix with a random pattern."""
+    rng = np.random.default_rng(seed)
+    nnz_target = max(n, int(density * n * n))
+    rows = rng.integers(0, n, nnz_target)
+    cols = rng.integers(0, n, nnz_target)
+    return _unsym_from_pattern(rows, cols, n, rng)
+
+
+def grid_unsym_2d(nx: int, ny: int | None = None, seed: int = 0) -> CSCMatrix:
+    """Unsymmetric 5-point-stencil matrix (convection-diffusion style)."""
+    ny = nx if ny is None else ny
+    rows, cols = _grid_edges_2d(nx, ny)
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    return _unsym_from_pattern(all_rows, all_cols, nx * ny,
+                               np.random.default_rng(seed))
+
+
+def grid_unsym_3d(
+    nx: int, ny: int | None = None, nz: int | None = None, seed: int = 0
+) -> CSCMatrix:
+    """Unsymmetric 7-point-stencil matrix (atmospheric / transport models).
+
+    Structurally symmetric (as such discretizations are) but numerically
+    unsymmetric, requiring LU rather than Cholesky — the structure of
+    atmosmodd and Transport.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    rows, cols = _grid_edges_3d(nx, ny, nz)
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    return _unsym_from_pattern(all_rows, all_cols, nx * ny * nz,
+                               np.random.default_rng(seed))
+
+
+def banded_spd(n: int, bandwidth: int, seed: int = 0) -> CSCMatrix:
+    """SPD banded matrix (1-D mesh / beam problems; long thin etrees)."""
+    rng = np.random.default_rng(seed)
+    offsets = np.arange(1, bandwidth + 1)
+    rows = np.concatenate([np.arange(k, n) for k in offsets])
+    cols = np.concatenate([np.arange(0, n - k) for k in offsets])
+    return _spd_from_pattern(rows, cols, n, rng)
+
+
+def arrow_spd(
+    n_blocks: int, block_size: int, border: int, seed: int = 0
+) -> CSCMatrix:
+    """Block-bordered (arrowhead) SPD matrix.
+
+    Models KKT / optimization systems (nlpkkt80, kkt_power): independent
+    diagonal blocks — each a small 2-D grid, giving real per-block
+    factorization work — coupled through a border of constraint variables,
+    yielding a bushy etree whose root supernode (the border) is large.
+    ``block_size`` is rounded down to a perfect square.
+    """
+    rng = np.random.default_rng(seed)
+    side = max(2, int(np.sqrt(block_size)))
+    block_n = side * side
+    n = n_blocks * block_n + border
+    border_base = n_blocks * block_n
+    rows_list = []
+    cols_list = []
+    grid_r, grid_c = _grid_edges_2d(side, side)
+    for b in range(n_blocks):
+        base = b * block_n
+        rows_list.append(grid_r + base)
+        cols_list.append(grid_c + base)
+        # Coupling to the border: each block touches a handful of
+        # constraint variables.
+        picks = rng.integers(0, border, size=max(2, block_n // 8))
+        anchors = base + rng.integers(0, block_n, size=len(picks))
+        rows_list.append(border_base + picks)
+        cols_list.append(anchors)
+    # Sparse border-border coupling (constraints interact locally).
+    b_rows = border_base + rng.integers(0, border, size=4 * border)
+    b_cols = border_base + rng.integers(0, border, size=4 * border)
+    rows_list.append(b_rows)
+    cols_list.append(b_cols)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _spd_from_pattern(rows, cols, n, rng)
+
+
+def arrow_unsym(
+    n_blocks: int, block_size: int, border: int, seed: int = 0
+) -> CSCMatrix:
+    """Unsymmetric block-bordered matrix (kkt_power-style for LU)."""
+    spd = arrow_spd(n_blocks, block_size, border, seed=seed)
+    coo = spd.to_coo()
+    rng = np.random.default_rng(seed + 1)
+    return _unsym_from_pattern(coo.rows, coo.cols, spd.n_rows, rng)
+
+
+def bipartite_cover(
+    n_left: int, n_right: int, degree: int = 4, seed: int = 0
+) -> CSCMatrix:
+    """Unsymmetric matrix with bipartite structure (language / LP matrices).
+
+    Each of the first ``n_left`` rows couples to ``degree`` random columns in
+    the trailing ``n_right`` block and vice versa, giving the wide, shallow
+    elimination trees typical of term-document and LP-constraint matrices.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_left + n_right
+    left = np.repeat(np.arange(n_left), degree)
+    right = n_left + rng.integers(0, n_right, n_left * degree)
+    rows = np.concatenate([left, right])
+    cols = np.concatenate([right, left])
+    # Thin the reverse edges so the pattern is unsymmetric.
+    keep = rng.random(len(rows)) > 0.3
+    return _unsym_from_pattern(rows[keep], cols[keep], n, rng)

@@ -1,0 +1,191 @@
+"""The evaluation matrix suite.
+
+Section 7.1 of the paper evaluates 20 SPD matrices (Cholesky, Table 3) and
+20 unsymmetric matrices (LU, Table 4) from SuiteSparse.  This module maps
+each paper matrix name to a deterministic synthetic generator whose
+structure matches the original's application domain (see
+``repro.sparse.generators`` for the rationale and DESIGN.md section 2 for
+the substitution note).
+
+Sizes are scaled so a pure-Python cycle-level simulation of each matrix
+finishes in seconds.  Pass ``scale`` > 1 to :func:`get_matrix` for larger
+instances (linear dimensions scale roughly with ``scale**(1/d)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse import generators as g
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A named matrix in the evaluation suite.
+
+    Attributes:
+        name: the SuiteSparse name used in the paper's tables.
+        kind: "spd" (Cholesky suite) or "unsym" (LU suite).
+        domain: application domain, as reported by SuiteSparse.
+        ordering: recommended fill-reducing ordering ("nd", "amd", "rcm").
+        build: zero-configuration factory; takes a float scale >= 0.25.
+    """
+
+    name: str
+    kind: str
+    domain: str
+    ordering: str
+    build: Callable[[float], CSCMatrix]
+
+
+def _dim(base: int, scale: float, minimum: int = 4) -> int:
+    return max(minimum, round(base * scale))
+
+
+def _spec(name: str, kind: str, domain: str, ordering: str, build) -> MatrixSpec:
+    return MatrixSpec(name=name, kind=kind, domain=domain,
+                      ordering=ordering, build=build)
+
+
+def _g3d(base: int, seed: int, dy: int = 0, dz: int = 0):
+    def build(s: float):
+        k = _dim(base, s ** (1 / 3))
+        return g.grid_laplacian_3d(k, max(2, k + dy), max(2, k + dz),
+                                   seed=seed)
+    return build
+
+
+def _g2d(base: int, seed: int, dy: int = 0):
+    def build(s: float):
+        k = _dim(base, s ** 0.5)
+        return g.grid_laplacian_2d(k, max(2, k + dy), seed=seed)
+    return build
+
+
+def _u3d(base: int, seed: int, dy: int = 0, dz: int = 0):
+    def build(s: float):
+        k = _dim(base, s ** (1 / 3))
+        return g.grid_unsym_3d(k, max(2, k + dy), max(2, k + dz), seed=seed)
+    return build
+
+
+def _u2d(base: int, seed: int, dy: int = 0):
+    def build(s: float):
+        k = _dim(base, s ** 0.5)
+        return g.grid_unsym_2d(k, max(2, k + dy), seed=seed)
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Cholesky suite (Table 3).  Ordered as in the paper: matrices dominated by
+# large supernodes first, small-supernode matrices last.
+# ---------------------------------------------------------------------------
+
+_CHOLESKY_SPECS = [
+    _spec("Serena", "spd", "gas reservoir (3D)", "nd", _g3d(20, 1)),
+    _spec("Geo_1438", "spd", "geomechanics (3D)", "nd", _g3d(19, 2)),
+    _spec("Emilia_923", "spd", "geomechanics (3D)", "nd", _g3d(19, 3, dy=-1)),
+    _spec("Fault_639", "spd", "contact mechanics (3D)", "nd", _g3d(18, 4)),
+    _spec("Hook_1498", "spd", "steel hook (3D)", "nd", _g3d(18, 5, dz=-1)),
+    _spec("nd24k", "spd", "3D mesh (ND problem set)", "amd",
+          lambda s: g.random_spd(_dim(520, s ** 0.5), density=0.06, seed=6)),
+    _spec("audikw_1", "spd", "automotive crankshaft (3D)", "nd", _g3d(17, 7)),
+    _spec("PFlow_742", "spd", "pressure flow (3D)", "nd", _g3d(17, 8, dy=-1)),
+    _spec("bone010", "spd", "bone micro-FE (3D)", "nd", _g3d(16, 9)),
+    _spec("StocF-1465", "spd", "flow with stochastic permeability", "nd",
+          _g3d(16, 10, dz=-1)),
+    _spec("Flan_1565", "spd", "steel flange (3D)", "nd", _g3d(15, 11)),
+    _spec("consph", "spd", "concentric spheres FEM", "nd", _g3d(15, 12, dy=-1)),
+    _spec("boneS10", "spd", "bone micro-FE (coarser)", "nd", _g3d(14, 13)),
+    _spec("apache2", "spd", "3D finite differences", "nd", _g2d(100, 14)),
+    _spec("offshore", "spd", "EM modeling (3D)", "nd", _g3d(13, 15)),
+    _spec("inline_1", "spd", "inline skater (3D FEM)", "nd", _g3d(13, 16, dz=-1)),
+    _spec("bmwcra_1", "spd", "automotive crankshaft FEM", "nd", _g3d(12, 17)),
+    _spec("BenElechi1", "spd", "2D-like FEM sheet", "nd", _g2d(80, 18)),
+    _spec("af_0_k101", "spd", "sheet-metal forming", "nd", _g2d(90, 19)),
+    _spec("G3_circuit", "spd", "circuit simulation (SPD)", "amd",
+          lambda s: g.power_law_spd(_dim(7200, s), hub_fraction=0.05, aspect=24, seed=20)),
+]
+
+# ---------------------------------------------------------------------------
+# LU suite (Table 4).
+# ---------------------------------------------------------------------------
+
+_LU_SPECS = [
+    _spec("cage13", "unsym", "DNA electrophoresis", "nd", _u3d(16, 31)),
+    _spec("Long_Coup0", "unsym", "coupled consolidation (3D)", "nd",
+          _u3d(16, 32, dy=1, dz=-1)),
+    _spec("nlpkkt80", "unsym", "nonlinear programming KKT", "amd",
+          lambda s: g.arrow_unsym(_dim(48, s), 100, _dim(128, s ** 0.5), seed=33)),
+    _spec("Ge87H76", "unsym", "quantum chemistry", "amd",
+          lambda s: g.random_unsymmetric(_dim(400, s ** 0.5), density=0.05,
+                                         seed=34)),
+    _spec("atmosmodd", "unsym", "atmospheric model (3D)", "nd", _u3d(17, 35)),
+    _spec("Transport", "unsym", "3D transport", "nd", _u3d(15, 36)),
+    _spec("language", "unsym", "natural language processing", "amd",
+          lambda s: g.bipartite_cover(_dim(1800, s), _dim(1800, s), degree=4,
+                                      seed=37)),
+    _spec("ML_Geer", "unsym", "poroelasticity (3D)", "nd", _u3d(15, 38, dz=-1)),
+    _spec("appu", "unsym", "random benchmark (NASA)", "amd",
+          lambda s: g.random_unsymmetric(_dim(380, s ** 0.5), density=0.08,
+                                         seed=39)),
+    _spec("dielFilterV3real", "unsym", "dielectric filter EM", "nd",
+          _u3d(14, 40)),
+    _spec("CoupCons3D", "unsym", "coupled consolidation", "nd", _u3d(14, 41, dy=-1)),
+    _spec("kkt_power", "unsym", "optimal power flow KKT", "amd",
+          lambda s: g.arrow_unsym(_dim(56, s), 64, _dim(96, s ** 0.5), seed=42)),
+    _spec("ASIC_680k", "unsym", "circuit simulation", "amd",
+          lambda s: g.circuit_like(_dim(5000, s), hub_fraction=0.08, aspect=20, seed=43)),
+    _spec("torso3", "unsym", "human torso field model", "nd", _u3d(13, 44)),
+    _spec("ohne2", "unsym", "semiconductor device (3D)", "nd", _u3d(13, 45, dz=-1)),
+    _spec("F1", "unsym", "automotive FEM", "nd", _u3d(12, 46)),
+    _spec("human_gene1", "unsym", "gene network (dense-ish)", "amd",
+          lambda s: g.random_unsymmetric(_dim(320, s ** 0.5), density=0.12,
+                                         seed=47)),
+    _spec("FullChip", "unsym", "full-chip circuit simulation", "amd",
+          lambda s: g.circuit_like(_dim(12000, s), hub_fraction=0.02, aspect=12, seed=48)),
+    _spec("TSOPF_b2383", "unsym", "optimal power flow", "amd",
+          lambda s: g.circuit_like(_dim(2880, s), hub_fraction=0.05, aspect=24, seed=49)),
+    _spec("rajat31", "unsym", "circuit simulation", "amd",
+          lambda s: g.circuit_like(_dim(4000, s), hub_fraction=0.05, aspect=16, seed=50)),
+]
+
+_REGISTRY: dict[str, MatrixSpec] = {
+    spec.name: spec for spec in _CHOLESKY_SPECS + _LU_SPECS
+}
+
+
+def cholesky_suite() -> list[MatrixSpec]:
+    """The 20 SPD matrices of Table 3, in the paper's order."""
+    return list(_CHOLESKY_SPECS)
+
+
+def lu_suite() -> list[MatrixSpec]:
+    """The 20 unsymmetric matrices of Table 4, in the paper's order."""
+    return list(_LU_SPECS)
+
+
+def suite_names(kind: str | None = None) -> list[str]:
+    """All matrix names, optionally filtered by kind ("spd" or "unsym")."""
+    return [
+        name for name, spec in _REGISTRY.items()
+        if kind is None or spec.kind == kind
+    ]
+
+
+def get_spec(name: str) -> MatrixSpec:
+    """Look up a suite matrix by its paper name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown suite matrix {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def get_matrix(name: str, scale: float = 1.0) -> CSCMatrix:
+    """Build a suite matrix by name at the given scale."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return get_spec(name).build(scale)

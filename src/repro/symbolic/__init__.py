@@ -1,0 +1,50 @@
+"""Symbolic factorization: the preprocessing stage of Figure 2.
+
+Given a (permuted) matrix pattern, this subpackage computes everything the
+numeric factorization and the Spatula simulator need:
+
+* the elimination tree and its postorder (:mod:`repro.symbolic.etree`);
+* the nonzero structure of the factor L (:mod:`repro.symbolic.structure`);
+* fundamental supernodes with relaxed amalgamation
+  (:mod:`repro.symbolic.supernodes`);
+* the supernodal assembly tree with extend-add index maps
+  (:mod:`repro.symbolic.assembly`);
+* the CSQ (Compressed Cartesian Square) frontal format
+  (:mod:`repro.symbolic.csq`);
+* position-based tiling into T-by-T tiles and S-by-S supertiles
+  (:mod:`repro.symbolic.tiling`).
+
+The one-call entry point is :func:`symbolic_factorize`.
+"""
+
+from repro.symbolic.etree import (
+    elimination_tree,
+    etree_children,
+    etree_levels,
+    postorder,
+)
+from repro.symbolic.structure import column_structures, column_counts
+from repro.symbolic.supernodes import Supernode, find_supernodes
+from repro.symbolic.assembly import AssemblyTree, build_assembly_tree
+from repro.symbolic.csq import CSQMatrix
+from repro.symbolic.tiling import TileGrid, tile_count_lower, tile_index
+from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
+
+__all__ = [
+    "elimination_tree",
+    "etree_children",
+    "etree_levels",
+    "postorder",
+    "column_structures",
+    "column_counts",
+    "Supernode",
+    "find_supernodes",
+    "AssemblyTree",
+    "build_assembly_tree",
+    "CSQMatrix",
+    "TileGrid",
+    "tile_count_lower",
+    "tile_index",
+    "SymbolicFactorization",
+    "symbolic_factorize",
+]

@@ -1,0 +1,97 @@
+"""The Compressed Cartesian Square (CSQ) frontal-matrix format.
+
+Figure 3 of the paper: a k-by-k CSQ stores k^2 dense values plus k
+coordinates, which are simultaneously the row and column labels of the
+nonzeros.  It is the natural container for outer-product updates — the
+nonzeros of outer(v, v) are exactly nonzeros(v) x nonzeros(v) — and lets
+the multifrontal method run dense kernels on sparse data.
+
+Cholesky fronts are logically symmetric so only the lower triangle is
+meaningful; LU fronts use the full square.  We store the full dense block
+in both cases (as real packages do) and let the symmetric case simply
+ignore the upper triangle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSQMatrix:
+    """A dense block indexed by a shared sorted coordinate vector.
+
+    Attributes:
+        coords: sorted global row/column labels, length k.
+        values: k-by-k float64 array.  Entry (i, j) holds the matrix value
+            at global coordinate (coords[i], coords[j]).
+    """
+
+    def __init__(self, coords: np.ndarray, values: np.ndarray | None = None):
+        self.coords = np.asarray(coords, dtype=np.int64)
+        if np.any(np.diff(self.coords) <= 0):
+            raise ValueError("CSQ coordinates must be strictly increasing")
+        k = len(self.coords)
+        if values is None:
+            self.values = np.zeros((k, k))
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != (k, k):
+                raise ValueError("values shape does not match coords")
+            self.values = values
+
+    @property
+    def size(self) -> int:
+        return len(self.coords)
+
+    def position_of(self, coord: int) -> int:
+        """Local position of a global coordinate (raises if absent)."""
+        pos = int(np.searchsorted(self.coords, coord))
+        if pos >= self.size or self.coords[pos] != coord:
+            raise KeyError(f"coordinate {coord} not in CSQ")
+        return pos
+
+    def positions_of(self, coords: np.ndarray) -> np.ndarray:
+        """Local positions of a sorted array of global coordinates.
+
+        Every queried coordinate must be present; this is the guarantee the
+        symbolic factorization provides for extend-add (child update
+        coordinates are a subset of the parent front's coordinates).
+        """
+        pos = np.searchsorted(self.coords, coords)
+        if np.any(pos >= self.size) or np.any(self.coords[pos] != coords):
+            raise KeyError("some coordinates are not in CSQ")
+        return pos
+
+    def extend_add(self, other: "CSQMatrix") -> None:
+        """Accumulate ``other`` into this CSQ by coordinate (extend-add).
+
+        This is the gather_updates operation of Table 1 / Figure 13: the
+        same global coordinate generally maps to *different* local positions
+        in parent and child, so positions are translated through the
+        coordinate vectors.
+        """
+        pos = self.positions_of(other.coords)
+        self.values[np.ix_(pos, pos)] += other.values
+
+    def submatrix(self, start: int) -> "CSQMatrix":
+        """The trailing principal submatrix from local position ``start``.
+
+        Used to extract the update matrix U_k = F[N_k:, N_k:] (Listing 2
+        line 15) after factoring N_k pivot columns.
+        """
+        return CSQMatrix(
+            self.coords[start:], self.values[start:, start:].copy()
+        )
+
+    def scatter_into_dense(self, dense: np.ndarray, lower_only: bool = False
+                           ) -> None:
+        """Add this CSQ's values into a dense matrix at global coordinates."""
+        idx = np.ix_(self.coords, self.coords)
+        if lower_only:
+            mask = np.tril(np.ones((self.size, self.size), dtype=bool))
+            dense[idx] += np.where(mask, self.values, 0.0)
+        else:
+            dense[idx] += self.values
+
+    def copy(self) -> "CSQMatrix":
+        return CSQMatrix(self.coords.copy(), self.values.copy())

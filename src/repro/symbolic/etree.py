@@ -1,0 +1,140 @@
+"""Elimination tree construction and traversal (Section 2.3).
+
+The elimination tree (Schreiber [56] in the paper) has one vertex per
+column; ``parent(j)`` is the row index of the first subdiagonal nonzero of
+column j of the factor L.  It encodes every data dependence of sparse
+factorization: column j can only be eliminated after all its descendants.
+
+We use Liu's almost-linear-time algorithm with path compression, which needs
+only the pattern of A (not of L).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+NO_PARENT = -1
+
+
+def elimination_tree(matrix: CSCMatrix) -> np.ndarray:
+    """Compute the elimination tree of a symmetric-pattern matrix.
+
+    Args:
+        matrix: square matrix; only the lower-triangular pattern is read, so
+            callers with unsymmetric matrices should pass the symmetrized
+            pattern (``matrix.pattern_symmetrized()``).
+
+    Returns:
+        parent array of length n; ``parent[j]`` is j's parent column or
+        ``NO_PARENT`` (-1) for roots.
+    """
+    n = matrix.n_cols
+    if matrix.n_rows != n:
+        raise ValueError("elimination tree requires a square matrix")
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    ancestor = np.full(n, NO_PARENT, dtype=np.int64)
+    for j in range(n):
+        # Walk up from each row index i < j in column j's upper part --
+        # equivalently rows of column i of the lower part. Using CSC of A we
+        # traverse rows i in column j with i < j via A's columns: row i,
+        # column j in the upper triangle corresponds to entry (j, i) in the
+        # lower triangle, so iterate nonzero rows of column j that are < j
+        # in A^T; with a symmetric pattern, column j of A works directly.
+        for i in matrix.col_rows(j):
+            i = int(i)
+            if i >= j:
+                break  # row indices are sorted; rest are lower-triangle
+            # Path from i to the root of its current subtree, compressing.
+            while True:
+                next_anc = int(ancestor[i])
+                ancestor[i] = j
+                if next_anc == NO_PARENT:
+                    parent[i] = j
+                    break
+                if next_anc == j:
+                    break
+                i = next_anc
+    return parent
+
+
+def etree_children(parent: np.ndarray) -> list[list[int]]:
+    """Children lists of an elimination tree given the parent array."""
+    children: list[list[int]] = [[] for _ in range(len(parent))]
+    for j, p in enumerate(parent):
+        if p != NO_PARENT:
+            children[int(p)].append(j)
+    return children
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """A postorder of the elimination tree.
+
+    Returns an array ``post`` where ``post[k]`` is the k-th vertex in
+    postorder.  Every vertex appears after all of its descendants, which is
+    the correctness requirement of Listing 2.
+    """
+    n = len(parent)
+    children = etree_children(parent)
+    post = np.empty(n, dtype=np.int64)
+    idx = 0
+    # Iterative DFS over every root, visiting children in ascending order.
+    for root in range(n):
+        if parent[root] != NO_PARENT:
+            continue
+        stack = [(root, 0)]
+        while stack:
+            vertex, child_pos = stack.pop()
+            if child_pos < len(children[vertex]):
+                stack.append((vertex, child_pos + 1))
+                stack.append((children[vertex][child_pos], 0))
+            else:
+                post[idx] = vertex
+                idx += 1
+    if idx != n:
+        raise ValueError("parent array does not describe a forest")
+    return post
+
+
+def etree_levels(parent: np.ndarray) -> np.ndarray:
+    """Depth of each vertex (roots at level 0).
+
+    Used by the GPU baseline's level-by-level batching (Figure 8), where
+    batches group vertices at equal height from the leaves; see
+    ``repro.baselines.gpu`` which uses *height* rather than depth.
+    """
+    n = len(parent)
+    levels = np.full(n, -1, dtype=np.int64)
+    for j in range(n - 1, -1, -1):
+        p = int(parent[j])
+        if p == NO_PARENT:
+            levels[j] = 0
+        elif levels[p] >= 0:
+            levels[j] = levels[p] + 1
+        else:
+            # Parent not yet resolved (parents always have higher indices in
+            # an etree, so this should not happen; guard for safety).
+            chain = [j]
+            while p != NO_PARENT and levels[p] < 0:
+                chain.append(p)
+                p = int(parent[p])
+            base = 0 if p == NO_PARENT else int(levels[p]) + 1
+            for offset, vertex in enumerate(reversed(chain)):
+                levels[vertex] = base + offset
+    return levels
+
+
+def etree_heights(parent: np.ndarray) -> np.ndarray:
+    """Height of each vertex above the leaves (leaves at height 0).
+
+    This is the batching key used by GPU implementations: all vertices of
+    height h can be factored once heights < h are done.
+    """
+    n = len(parent)
+    heights = np.zeros(n, dtype=np.int64)
+    for j in postorder(parent):
+        p = int(parent[j])
+        if p != NO_PARENT:
+            heights[p] = max(heights[p], heights[j] + 1)
+    return heights

@@ -1,0 +1,101 @@
+"""Position-based tiling of CSQ fronts (Section 4.1, Figure 10).
+
+Spatula's primitive datatype is a T-by-T dense tile.  A CSQ front of size r
+is cut into ceil(r / T) position-based blocks along each axis; tile (i, j)
+covers local positions [i*T, (i+1)*T) x [j*T, (j+1)*T).  For Cholesky only
+tiles on or below the block diagonal exist.
+
+Large supernodes additionally get level-2 *supertiles* of S-by-S tiles
+(Section 5.1), which the generator FSM iterates over so that the working
+set of each phase fits in the on-chip cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def tile_index(front_size: int, tile: int) -> int:
+    """Number of tile blocks along one axis of a front."""
+    return -(-front_size // tile)
+
+
+def tile_count_lower(front_size: int, tile: int) -> int:
+    """Number of tiles in the lower block triangle (Cholesky storage)."""
+    b = tile_index(front_size, tile)
+    return b * (b + 1) // 2
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Tiling metadata for one supernode's front.
+
+    Attributes:
+        front_size: r, the CSQ dimension.
+        n_pivot_cols: N_k, the number of columns factored here.
+        tile: T, the primitive tile size.
+        supertile: S, tiles per supertile edge (level-2 tiling).
+    """
+
+    front_size: int
+    n_pivot_cols: int
+    tile: int
+    supertile: int
+
+    @property
+    def n_blocks(self) -> int:
+        """Tile blocks along one axis."""
+        return tile_index(self.front_size, self.tile)
+
+    @property
+    def n_pivot_blocks(self) -> int:
+        """Tile blocks that contain pivot columns.
+
+        Factoring stops after the block containing the last pivot column;
+        blocks are position-based so the last pivot block may be partial.
+        """
+        return tile_index(self.n_pivot_cols, self.tile)
+
+    def block_rows(self, block: int) -> tuple[int, int]:
+        """Local position range [start, end) of a tile block."""
+        start = block * self.tile
+        return start, min(start + self.tile, self.front_size)
+
+    def block_dim(self, block: int) -> int:
+        start, end = self.block_rows(block)
+        return end - start
+
+    def pivots_in_block(self, block: int) -> int:
+        """How many pivot columns fall inside tile-column ``block``."""
+        start, end = self.block_rows(block)
+        return max(0, min(end, self.n_pivot_cols) - start)
+
+    @property
+    def n_tiles_lower(self) -> int:
+        """Tiles in the lower block triangle."""
+        return tile_count_lower(self.front_size, self.tile)
+
+    @property
+    def n_tiles_full(self) -> int:
+        """Tiles in the full square (LU fronts)."""
+        return self.n_blocks * self.n_blocks
+
+    @property
+    def n_supertiles(self) -> int:
+        """Supertiles along one axis."""
+        return -(-self.n_blocks // self.supertile)
+
+    def supertile_of(self, block: int) -> int:
+        return block // self.supertile
+
+    def tile_bytes(self) -> int:
+        """Bytes of one full tile (doubles)."""
+        return self.tile * self.tile * 8
+
+
+def front_tile_footprint_bytes(grid: TileGrid, symmetric: bool) -> int:
+    """Total bytes of a front stored as full T-by-T tiles."""
+    tiles = grid.n_tiles_lower if symmetric else grid.n_tiles_full
+    return tiles * grid.tile_bytes()

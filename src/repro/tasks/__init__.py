@@ -1,0 +1,35 @@
+"""Task-based decomposition of multifrontal factorization (Section 4.2).
+
+Spatula's programming model decomposes each supernode's partial
+factorization into tasks over T-by-T tiles (Table 1):
+
+* ``dgemm``   — D += gemm(hcat(A), vcat(B)) over a list of tile pairs;
+* ``tsolve``  — triangular solve of a tile against a factored diagonal tile;
+* ``dchol``   — dense Cholesky of a diagonal tile;
+* ``dlu``     — dense LU of a diagonal tile;
+* ``gather_updates`` — coordinate-aligned accumulation of child update
+  tiles into a parent tile (extend-add).
+
+:mod:`repro.tasks.graph` builds the explicit dependence graph of Figure 11;
+the simulator's generator FSMs (:mod:`repro.arch.generator`) emit the same
+tasks lazily in breadth-first order.
+"""
+
+from repro.tasks.task import Task, TaskType, TileRef
+from repro.tasks.graph import SupernodeTaskGraph, build_task_graph
+from repro.tasks.flops import (
+    matrix_factor_flops,
+    supernode_factor_flops,
+    task_flops,
+)
+
+__all__ = [
+    "Task",
+    "TaskType",
+    "TileRef",
+    "SupernodeTaskGraph",
+    "build_task_graph",
+    "matrix_factor_flops",
+    "supernode_factor_flops",
+    "task_flops",
+]

@@ -1,0 +1,145 @@
+"""Whole-matrix tiled execution plan.
+
+Bridges the symbolic factorization and the simulator: for every supernode,
+its :class:`~repro.symbolic.tiling.TileGrid` and the tile-level gather map
+(which child tiles feed which parent tiles — the Figure 13b many-to-many
+structure, resolved at planning time).
+
+Both the Spatula simulator and the analytic baselines consume this plan, so
+they agree exactly on the work to be done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.symbolic.analyze import SymbolicFactorization
+from repro.symbolic.tiling import TileGrid
+from repro.tasks.graph import GatherInputs, SupernodeTaskGraph, build_task_graph
+from repro.tasks.task import TileRef
+
+
+@dataclass
+class SupernodePlan:
+    """Per-supernode slice of the execution plan."""
+
+    index: int
+    grid: TileGrid
+    gather_inputs: GatherInputs = field(default_factory=dict)
+    factor_flops: int = 0
+
+    @property
+    def n_tiles(self) -> int:
+        return self.grid.n_tiles_lower if self.symmetric else \
+            self.grid.n_tiles_full
+
+    symmetric: bool = True
+
+
+@dataclass
+class FactorizationPlan:
+    """Tiled execution plan for a whole matrix."""
+
+    kind: str
+    tile: int
+    supertile: int
+    supernodes: list[SupernodePlan]
+    symbolic: SymbolicFactorization
+
+    @property
+    def n_supernodes(self) -> int:
+        return len(self.supernodes)
+
+    def task_graph(self, sn: int, order: str = "bf") -> SupernodeTaskGraph:
+        """Materialize the task graph of one supernode."""
+        plan = self.supernodes[sn]
+        return build_task_graph(
+            sn, plan.grid, self.kind, plan.gather_inputs, order=order
+        )
+
+    def total_factor_flops(self) -> int:
+        return sum(sp.factor_flops for sp in self.supernodes)
+
+
+def _tile_span(positions: np.ndarray, tile: int) -> np.ndarray:
+    """Distinct tile-block indices covering a set of local positions."""
+    return np.unique(positions // tile)
+
+
+def build_plan(
+    symbolic: SymbolicFactorization,
+    tile: int = 16,
+    supertile: int = 70,
+) -> FactorizationPlan:
+    """Build the tiled execution plan from a symbolic factorization.
+
+    Args:
+        symbolic: analysis from :func:`repro.symbolic.symbolic_factorize`.
+        tile: T, the primitive tile size (16 in the paper's config).
+        supertile: S, tiles per supertile edge (70 in the paper's example).
+    """
+    from repro.tasks.flops import supernode_factor_flops
+
+    kind = symbolic.kind
+    symmetric = kind == "cholesky"
+    tree = symbolic.tree
+    plans = [
+        SupernodePlan(
+            index=sn.index,
+            grid=TileGrid(
+                front_size=sn.front_size,
+                n_pivot_cols=sn.n_cols,
+                tile=tile,
+                supertile=supertile,
+            ),
+            factor_flops=supernode_factor_flops(
+                sn.front_size, sn.n_cols, symmetric
+            ),
+            symmetric=symmetric,
+        )
+        for sn in tree.supernodes
+    ]
+
+    # Gather maps: for each supernode, map its update tiles into parent
+    # tiles through the symbolic extend-add position maps.
+    for sn in tree.supernodes:
+        child_map = tree.child_maps[sn.index]
+        if child_map is None:
+            continue
+        parent_plan = plans[sn.parent]
+        child_grid = plans[sn.index].grid
+        n_piv = sn.n_cols
+        front = sn.front_size
+        update_positions = np.arange(n_piv, front)
+        parent_positions = child_map  # parent local position per update row
+        child_blocks = _tile_span(update_positions, tile)
+        for bi in child_blocks:
+            rows_lo = max(bi * tile, n_piv)
+            rows_hi = min((bi + 1) * tile, front)
+            par_rows = parent_positions[rows_lo - n_piv:rows_hi - n_piv]
+            par_bi = _tile_span(par_rows, tile)
+            for bj in child_blocks:
+                if symmetric and bj > bi:
+                    continue
+                cols_lo = max(bj * tile, n_piv)
+                cols_hi = min((bj + 1) * tile, front)
+                par_cols = parent_positions[cols_lo - n_piv:cols_hi - n_piv]
+                par_bj = _tile_span(par_cols, tile)
+                child_ref = TileRef(sn.index, int(bi), int(bj))
+                for pi in par_bi:
+                    for pj in par_bj:
+                        if symmetric and pj > pi:
+                            continue
+                        key = (int(pi), int(pj))
+                        parent_plan.gather_inputs.setdefault(
+                            key, []
+                        ).append(child_ref)
+    return FactorizationPlan(
+        kind=kind,
+        tile=tile,
+        supertile=supertile,
+        supernodes=plans,
+        symbolic=symbolic,
+    )

@@ -1,0 +1,165 @@
+"""Tests for the GPU and CPU baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CPU_ZEN2_32C,
+    CPUModel,
+    GPU_A100,
+    GPU_H100,
+    GPU_V100,
+    GPUModel,
+    cpu_core_roofline,
+    gpu_dense_roofline,
+)
+from repro.baselines.gpu import _list_schedule_makespan
+from repro.sparse import circuit_like, grid_laplacian_3d, random_spd
+from repro.symbolic import symbolic_factorize
+
+
+class TestRoofline:
+    def test_saturates_at_peak(self):
+        curve = gpu_dense_roofline()
+        assert curve.rate(20000) == pytest.approx(7000.0)
+        assert curve.rate(100000) == pytest.approx(7000.0)
+
+    def test_linear_ramp_below_saturation(self):
+        # Figure 7: "drops linearly below 10000".
+        curve = gpu_dense_roofline()
+        assert curve.rate(10000) == pytest.approx(3500.0)
+        assert curve.rate(5000) == pytest.approx(1750.0)
+
+    def test_floor_for_tiny_kernels(self):
+        curve = gpu_dense_roofline()
+        assert curve.rate(1) >= curve.floor_gflops
+
+    def test_cpu_saturates_much_earlier(self):
+        gpu = gpu_dense_roofline()
+        cpu = cpu_core_roofline()
+        # At front size 300, a CPU core is near peak; the GPU is at ~1.5%.
+        assert cpu.utilization(300) > 0.9
+        assert gpu.utilization(300) < 0.05
+
+    def test_curve_vectorized(self):
+        curve = gpu_dense_roofline()
+        sizes = np.array([1000, 2000, 30000])
+        out = curve.curve(sizes)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) >= 0)
+
+
+class TestListSchedule:
+    def test_empty(self):
+        assert _list_schedule_makespan([], 4) == 0.0
+
+    def test_single_kernel(self):
+        assert _list_schedule_makespan([(2.0, 3)], 8) == 2.0
+
+    def test_parallel_fits(self):
+        assert _list_schedule_makespan([(1.0, 2), (1.0, 2)], 4) == 1.0
+
+    def test_serializes_when_over_capacity(self):
+        assert _list_schedule_makespan([(1.0, 4), (1.0, 4)], 4) == 2.0
+
+    def test_imbalance_visible(self):
+        # One long kernel dominates a batch of short ones (Figure 8).
+        kernels = [(10.0, 1)] + [(0.1, 1)] * 10
+        assert _list_schedule_makespan(kernels, 16) == 10.0
+
+    def test_width_clamped_to_capacity(self):
+        assert _list_schedule_makespan([(1.0, 100)], 8) == 1.0
+
+
+class TestGPUModel:
+    def test_runs_and_reports(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        result = GPUModel(GPU_V100).run(sf)
+        assert result.seconds > 0
+        assert result.gflops > 0
+        assert result.n_batches > 0
+
+    def test_big_fronts_much_faster_than_small(self):
+        # One near-dense front vs a deep tree of tiny fronts.
+        big = symbolic_factorize(random_spd(400, density=0.15, seed=1),
+                                 ordering="amd")
+        small = symbolic_factorize(
+            circuit_like(900, hub_fraction=0.05, seed=2), kind="lu",
+            ordering="amd")
+        gpu = GPUModel(GPU_V100)
+        assert gpu.run(big).gflops > gpu.run(small).gflops
+
+    def test_gflops_below_peak(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        assert GPUModel(GPU_V100).run(sf).gflops < GPU_V100.peak_gflops
+
+    def test_batches_bounded_by_tree_height(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        result = GPUModel(GPU_V100).run(sf)
+        assert result.n_batches <= sf.n_supernodes
+
+    def test_newer_gpus_faster_but_less_utilized(self, spd_dense_ish):
+        sf = symbolic_factorize(random_spd(200, density=0.05, seed=9))
+        v100 = GPUModel(GPU_V100).run(sf)
+        h100 = GPUModel(GPU_H100).run(sf)
+        assert h100.seconds <= v100.seconds
+        assert h100.gflops / GPU_H100.peak_gflops \
+            <= v100.gflops / GPU_V100.peak_gflops
+
+    def test_component_times_sum_sanely(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        r = GPUModel(GPU_V100).run(sf)
+        assert r.seconds <= r.compute_seconds + r.memory_seconds \
+            + r.launch_seconds + 1e-12
+
+
+class TestCPUModel:
+    def test_runs_and_reports(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        result = CPUModel().run(sf)
+        assert result.seconds > 0
+        assert result.gflops > 0
+
+    def test_peak_bounded(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        peak = CPU_ZEN2_32C.n_cores * CPU_ZEN2_32C.core_peak_gflops
+        assert CPUModel().run(sf).gflops < peak
+
+    def test_respects_dependencies(self):
+        # A chain-structured matrix has no task parallelism: time must be
+        # at least the sum of its per-supernode times.
+        from repro.sparse import banded_spd
+        sf = symbolic_factorize(banded_spd(100, 2, seed=1),
+                                ordering="natural")
+        result = CPUModel().run(sf)
+        assert result.critical_path_seconds >= \
+            sf.n_supernodes * CPU_ZEN2_32C.task_overhead_s * 0.9
+
+    def test_parallel_tree_beats_chain(self):
+        # Same total work, different tree shape.
+        chain = symbolic_factorize(
+            __import__("repro.sparse", fromlist=["banded_spd"])
+            .banded_spd(256, 2, seed=1), ordering="natural")
+        bushy = symbolic_factorize(grid_laplacian_3d(6, seed=1),
+                                   ordering="nd")
+        cpu = CPUModel()
+        chain_eff = cpu.run(chain).seconds / max(1, chain.flops)
+        bushy_eff = cpu.run(bushy).seconds / max(1, bushy.flops)
+        assert bushy_eff < chain_eff
+
+
+class TestCrossModel:
+    def test_cpu_beats_gpu_on_circuit(self):
+        # The Figure 5 FullChip story: tiny supernodes favor the CPU.
+        sf = symbolic_factorize(circuit_like(900, hub_fraction=0.05, seed=3),
+                                kind="lu", ordering="amd")
+        gpu = GPUModel(GPU_V100).run(sf)
+        cpu = CPUModel().run(sf)
+        assert cpu.seconds < gpu.seconds
+
+    def test_gpu_beats_cpu_on_large_fronts(self):
+        sf = symbolic_factorize(random_spd(400, density=0.1, seed=4),
+                                ordering="amd")
+        gpu = GPUModel(GPU_V100).run(sf)
+        cpu = CPUModel().run(sf)
+        assert gpu.seconds < cpu.seconds

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_matrix, main
+from repro.sparse import grid_laplacian_2d
+from repro.sparse.io import write_matrix_market
+
+
+class TestLoadMatrix:
+    def test_suite_name(self):
+        matrix, kind, ordering = load_matrix("suite:Serena")
+        assert kind == "cholesky"
+        assert ordering == "nd"
+        assert matrix.n_rows == 8000
+
+    def test_suite_name_with_scale(self):
+        matrix, _, _ = load_matrix("suite:Serena@0.3")
+        assert matrix.n_rows < 8000
+
+    def test_lu_suite_entry(self):
+        _, kind, _ = load_matrix("suite:FullChip@0.3")
+        assert kind == "lu"
+
+    def test_unknown_suite_name(self):
+        with pytest.raises(KeyError):
+            load_matrix("suite:NotAMatrix")
+
+    def test_mtx_file(self, tmp_path):
+        matrix = grid_laplacian_2d(4, seed=1)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, matrix.to_coo())
+        loaded, kind, _ = load_matrix(str(path))
+        assert kind == "cholesky"
+        assert np.allclose(loaded.to_dense(), matrix.to_dense())
+
+
+class TestCommands:
+    def test_suite_lists_40(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "Serena" in out and "rajat31" in out
+        assert len(out.strip().splitlines()) == 41  # header + 40
+
+    def test_info(self, capsys):
+        assert main(["info", "suite:bmwcra_1@0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "supernodes" in out and "nnz(L)" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "suite:bmwcra_1@0.3"]) == 0
+        residual = float(
+            capsys.readouterr().out.splitlines()[0].split()[1]
+        )
+        assert residual < 1e-10
+
+    def test_solve_refined(self, capsys):
+        assert main(["solve", "suite:TSOPF_b2383@0.3", "--refine"]) == 0
+        assert "refinement" in capsys.readouterr().out
+
+    def test_simulate_with_check_and_gantt(self, capsys):
+        assert main(["simulate", "suite:bmwcra_1@0.3", "--check",
+                     "--gantt", "--n-pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "numeric check passed" in out
+        assert "PE  0" in out
+
+    def test_simulate_writes_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["simulate", "suite:bmwcra_1@0.3",
+                     "--trace", str(trace_path)]) == 0
+        data = json.loads(trace_path.read_text())
+        assert len(data["traceEvents"]) > 0
+        event = data["traceEvents"][0]
+        assert {"name", "ts", "dur", "tid"} <= set(event)
+
+    def test_simulate_config_overrides(self, capsys):
+        assert main(["simulate", "suite:bmwcra_1@0.3", "--policy", "intra",
+                     "--sn-order", "fifo"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "suite:bmwcra_1@0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Spatula" in out and "V100" in out and "Zen2" in out
+
+    def test_kind_override(self, capsys):
+        assert main(["info", "suite:bmwcra_1@0.3", "--kind", "lu"]) == 0
+        assert "[lu" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+def test_broken_pipe_handled(tmp_path):
+    """Piping CLI output into a closed consumer must not traceback."""
+    import subprocess
+    import sys
+
+    from repro.sparse import grid_laplacian_2d
+    from repro.sparse.io import write_matrix_market
+
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, grid_laplacian_2d(5, seed=1).to_coo())
+    proc = subprocess.run(
+        f"{sys.executable} -m repro info {path} | head -1",
+        shell=True, capture_output=True, text=True, cwd="/root/repo",
+    )
+    assert "Traceback" not in proc.stderr
+
+
+def test_missing_file_friendly_error(capsys):
+    assert main(["info", "/tmp/definitely_not_here.mtx"]) == 1
+    assert "error:" in capsys.readouterr().err

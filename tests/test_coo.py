@@ -1,0 +1,137 @@
+"""Unit tests for the COO sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+
+
+def make(n_rows=3, n_cols=3, entries=((0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0))):
+    rows = [e[0] for e in entries]
+    cols = [e[1] for e in entries]
+    vals = [e[2] for e in entries]
+    return COOMatrix(n_rows, n_cols, rows, cols, vals)
+
+
+class TestConstruction:
+    def test_shape_and_nnz(self):
+        m = make()
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, [0, 1], [0], [1.0, 2.0])
+
+    def test_out_of_bounds_row_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, [2], [0], [1.0])
+
+    def test_out_of_bounds_col_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, [0], [5], [1.0])
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, [-1], [0], [1.0])
+
+    def test_empty_matrix(self):
+        m = COOMatrix(4, 4, [], [], [])
+        assert m.nnz == 0
+        assert np.array_equal(m.to_dense(), np.zeros((4, 4)))
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((5, 4))
+        dense[np.abs(dense) < 0.7] = 0.0
+        m = COOMatrix.from_dense(dense)
+        assert np.allclose(m.to_dense(), dense)
+
+    def test_from_dense_drops_zeros(self):
+        dense = np.zeros((3, 3))
+        dense[1, 1] = 5.0
+        assert COOMatrix.from_dense(dense).nnz == 1
+
+
+class TestDeduplication:
+    def test_duplicates_summed(self):
+        m = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 4.0])
+        d = m.deduplicated()
+        assert d.nnz == 2
+        assert d.to_dense()[0, 1] == 3.0
+
+    def test_dedup_sorted_by_column_then_row(self):
+        m = COOMatrix(3, 3, [2, 0, 1], [1, 1, 0], [1.0, 1.0, 1.0])
+        d = m.deduplicated()
+        assert list(d.cols) == [0, 1, 1]
+        assert list(d.rows) == [1, 0, 2]
+
+    def test_dedup_empty(self):
+        d = COOMatrix(2, 2, [], [], []).deduplicated()
+        assert d.nnz == 0
+
+    def test_dedup_preserves_dense(self, rng):
+        rows = rng.integers(0, 6, 40)
+        cols = rng.integers(0, 6, 40)
+        vals = rng.standard_normal(40)
+        m = COOMatrix(6, 6, rows, cols, vals)
+        assert np.allclose(m.to_dense(), m.deduplicated().to_dense())
+
+
+class TestTransforms:
+    def test_transpose(self, rng):
+        dense = rng.standard_normal((4, 6))
+        m = COOMatrix.from_dense(dense)
+        assert np.allclose(m.transpose().to_dense(), dense.T)
+
+    def test_transpose_shape(self):
+        m = COOMatrix(2, 5, [0], [4], [1.0])
+        assert m.transpose().shape == (5, 2)
+
+    def test_symmetrized_is_symmetric(self, rng):
+        dense = rng.standard_normal((5, 5))
+        m = COOMatrix.from_dense(dense)
+        s = m.symmetrized().to_dense()
+        assert np.allclose(s, s.T)
+        assert np.allclose(s, (dense + dense.T) / 2)
+
+    def test_symmetrize_requires_square(self):
+        m = COOMatrix(2, 3, [0], [0], [1.0])
+        with pytest.raises(ValueError):
+            m.symmetrized()
+
+    def test_lower_triangle(self):
+        dense = np.arange(9, dtype=float).reshape(3, 3) + 1
+        m = COOMatrix.from_dense(dense)
+        low = m.lower_triangle().to_dense()
+        assert np.allclose(low, np.tril(dense))
+
+    def test_lower_triangle_strict(self):
+        dense = np.ones((3, 3))
+        low = COOMatrix.from_dense(dense).lower_triangle(strict=True)
+        assert np.allclose(low.to_dense(), np.tril(dense, -1))
+
+    def test_permuted_definition(self, rng):
+        dense = rng.standard_normal((5, 5))
+        m = COOMatrix.from_dense(dense)
+        perm = rng.permutation(5)
+        p = m.permuted(perm).to_dense()
+        assert np.allclose(p, dense[np.ix_(perm, perm)])
+
+    def test_permuted_identity(self, rng):
+        dense = rng.standard_normal((4, 4))
+        m = COOMatrix.from_dense(dense)
+        assert np.allclose(m.permuted(np.arange(4)).to_dense(), dense)
+
+    def test_permuted_requires_square(self):
+        m = COOMatrix(2, 3, [0], [0], [1.0])
+        with pytest.raises(ValueError):
+            m.permuted(np.array([0, 1]))
+
+    def test_permute_then_inverse_roundtrip(self, rng):
+        dense = rng.standard_normal((6, 6))
+        m = COOMatrix.from_dense(dense)
+        perm = rng.permutation(6)
+        inverse = np.empty(6, dtype=np.int64)
+        inverse[perm] = np.arange(6)
+        back = m.permuted(perm).permuted(inverse)
+        assert np.allclose(back.to_dense(), dense)

@@ -1,0 +1,142 @@
+"""Tests for the CSQ format and position-based tiling."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic.csq import CSQMatrix
+from repro.symbolic.tiling import (
+    TileGrid,
+    front_tile_footprint_bytes,
+    tile_count_lower,
+    tile_index,
+)
+
+
+class TestCSQ:
+    def test_construction_and_size(self):
+        csq = CSQMatrix(np.array([0, 4, 5]))
+        assert csq.size == 3
+        assert csq.values.shape == (3, 3)
+
+    def test_rejects_unsorted_coords(self):
+        with pytest.raises(ValueError):
+            CSQMatrix(np.array([3, 1, 2]))
+
+    def test_rejects_duplicate_coords(self):
+        with pytest.raises(ValueError):
+            CSQMatrix(np.array([1, 1, 2]))
+
+    def test_rejects_bad_value_shape(self):
+        with pytest.raises(ValueError):
+            CSQMatrix(np.array([0, 1]), np.zeros((3, 3)))
+
+    def test_position_of(self):
+        csq = CSQMatrix(np.array([2, 5, 9]))
+        assert csq.position_of(5) == 1
+        with pytest.raises(KeyError):
+            csq.position_of(3)
+
+    def test_positions_of_subset(self):
+        csq = CSQMatrix(np.array([1, 4, 6, 8]))
+        assert list(csq.positions_of(np.array([4, 8]))) == [1, 3]
+
+    def test_positions_of_missing_raises(self):
+        csq = CSQMatrix(np.array([1, 4]))
+        with pytest.raises(KeyError):
+            csq.positions_of(np.array([1, 5]))
+
+    def test_extend_add_by_coordinate(self):
+        parent = CSQMatrix(np.array([0, 2, 4, 6]))
+        child = CSQMatrix(np.array([2, 6]),
+                          np.array([[1.0, 2.0], [3.0, 4.0]]))
+        parent.extend_add(child)
+        assert parent.values[1, 1] == 1.0  # (2, 2)
+        assert parent.values[1, 3] == 2.0  # (2, 6)
+        assert parent.values[3, 1] == 3.0  # (6, 2)
+        assert parent.values[3, 3] == 4.0  # (6, 6)
+        assert parent.values[0, 0] == 0.0
+
+    def test_extend_add_accumulates(self):
+        parent = CSQMatrix(np.array([0, 1]))
+        child = CSQMatrix(np.array([1]), np.array([[2.0]]))
+        parent.extend_add(child)
+        parent.extend_add(child)
+        assert parent.values[1, 1] == 4.0
+
+    def test_outer_product_update_semantics(self, rng):
+        # The defining CSQ property (Figure 3): outer(v, v) restricted to
+        # nonzeros(v) x nonzeros(v) is dense in CSQ positions.
+        coords = np.array([0, 3, 4, 7])
+        v = rng.standard_normal(4)
+        csq = CSQMatrix(coords, np.outer(v, v))
+        dense = np.zeros((8, 8))
+        csq.scatter_into_dense(dense)
+        full_v = np.zeros(8)
+        full_v[coords] = v
+        assert np.allclose(dense, np.outer(full_v, full_v))
+
+    def test_submatrix(self, rng):
+        coords = np.array([1, 3, 5, 7])
+        vals = rng.standard_normal((4, 4))
+        sub = CSQMatrix(coords, vals).submatrix(2)
+        assert np.array_equal(sub.coords, [5, 7])
+        assert np.allclose(sub.values, vals[2:, 2:])
+
+    def test_scatter_lower_only(self):
+        csq = CSQMatrix(np.array([0, 1]), np.array([[1.0, 9.0], [2.0, 3.0]]))
+        dense = np.zeros((2, 2))
+        csq.scatter_into_dense(dense, lower_only=True)
+        assert dense[0, 1] == 0.0 and dense[1, 0] == 2.0
+
+    def test_copy_independent(self):
+        csq = CSQMatrix(np.array([0, 1]))
+        dup = csq.copy()
+        dup.values[0, 0] = 5.0
+        assert csq.values[0, 0] == 0.0
+
+
+class TestTiling:
+    def test_tile_index_ceil(self):
+        assert tile_index(16, 16) == 1
+        assert tile_index(17, 16) == 2
+        assert tile_index(1, 16) == 1
+
+    def test_tile_count_lower_triangle(self):
+        assert tile_count_lower(32, 16) == 3  # 2x2 blocks, lower = 3
+        assert tile_count_lower(48, 16) == 6
+
+    def test_grid_block_dims(self):
+        grid = TileGrid(front_size=40, n_pivot_cols=20, tile=16, supertile=4)
+        assert grid.n_blocks == 3
+        assert grid.block_dim(0) == 16
+        assert grid.block_dim(2) == 8  # partial edge block
+        assert grid.block_rows(1) == (16, 32)
+
+    def test_pivot_blocks(self):
+        grid = TileGrid(front_size=40, n_pivot_cols=20, tile=16, supertile=4)
+        assert grid.n_pivot_blocks == 2
+        assert grid.pivots_in_block(0) == 16
+        assert grid.pivots_in_block(1) == 4   # partial pivot block
+        assert grid.pivots_in_block(2) == 0
+
+    def test_full_vs_lower_tile_counts(self):
+        grid = TileGrid(front_size=33, n_pivot_cols=33, tile=16, supertile=4)
+        assert grid.n_blocks == 3
+        assert grid.n_tiles_full == 9
+        assert grid.n_tiles_lower == 6
+
+    def test_supertiles(self):
+        grid = TileGrid(front_size=160, n_pivot_cols=160, tile=16,
+                        supertile=4)
+        assert grid.n_blocks == 10
+        assert grid.n_supertiles == 3
+        assert grid.supertile_of(0) == 0
+        assert grid.supertile_of(7) == 1
+
+    def test_footprint_bytes(self):
+        grid = TileGrid(front_size=32, n_pivot_cols=32, tile=16, supertile=4)
+        assert grid.tile_bytes() == 16 * 16 * 8
+        assert front_tile_footprint_bytes(grid, symmetric=True) \
+            == 3 * 2048
+        assert front_tile_footprint_bytes(grid, symmetric=False) \
+            == 4 * 2048

@@ -1,0 +1,146 @@
+"""Tests for the area/power models and the text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.energy import (
+    area_breakdown,
+    power_breakdown,
+    _PJ_PER_FLOP,
+)
+from repro.arch.sim import simulate
+from repro.arch.stats import SimReport
+from repro.eval.report import (
+    render_cdf,
+    render_cycle_breakdown,
+    render_dse,
+    render_power,
+    render_traffic,
+)
+from repro.tasks.task import TaskType
+
+
+def synthetic_report(cycles=1_000_000, flops=None, dram_bytes=0,
+                     config=None):
+    """A hand-built report for calibration-style checks."""
+    config = config or SpatulaConfig.paper()
+    if flops is None:
+        flops = 0
+    return SimReport(
+        config=config,
+        matrix_name="synthetic",
+        kind="cholesky",
+        n=1000,
+        cycles=cycles,
+        algorithmic_flops=flops,
+        machine_flops=flops,
+        n_tasks=1,
+        n_supernodes=1,
+        busy_cycles_by_type={t: 0 for t in TaskType},
+        traffic_bytes={"comp_load": dram_bytes, "gather_load": 0,
+                       "factor_load": 0, "store_spill": 0,
+                       "store_result": 0},
+        cache_hits=0,
+        cache_misses=0,
+        cache_allocations=0,
+    )
+
+
+class TestAreaModel:
+    def test_tile_scaling_quadratic(self):
+        t8 = area_breakdown(SpatulaConfig.paper(tile=8))
+        t32 = area_breakdown(SpatulaConfig.paper(tile=32))
+        assert t32["PEs"] == pytest.approx(16 * t8["PEs"])
+
+    def test_cache_scaling_linear(self):
+        small = area_breakdown(SpatulaConfig.paper(cache_mb=8.0))
+        big = area_breakdown(SpatulaConfig.paper(cache_mb=32.0))
+        assert big["Cache"] == pytest.approx(4 * small["Cache"])
+
+    def test_phy_scaling(self):
+        one = area_breakdown(SpatulaConfig.paper(hbm_phys=1))
+        four = area_breakdown(SpatulaConfig.paper(hbm_phys=4))
+        assert four["HBM PHYs"] == pytest.approx(4 * one["HBM PHYs"])
+
+    def test_total_is_sum(self):
+        areas = area_breakdown(SpatulaConfig.paper())
+        parts = sum(v for k, v in areas.items() if k != "Total")
+        assert areas["Total"] == pytest.approx(parts)
+
+
+class TestPowerCalibration:
+    def test_full_utilization_near_paper_envelope(self):
+        # At the paper's gmean operating point (~10.7 TFLOP/s machine
+        # throughput, ~400 GB/s DRAM), total power should land in the
+        # neighbourhood of the reported 146 W average.
+        cfg = SpatulaConfig.paper()
+        cycles = 1_000_000
+        flops = int(10.7e12 * cycles / (cfg.freq_ghz * 1e9))
+        dram = int(400e9 * cycles / (cfg.freq_ghz * 1e9))
+        report = synthetic_report(cycles, flops, dram, cfg)
+        # Cache/NoC activity roughly tracks compute traffic.
+        report.cache_hits = dram // cfg.tile_bytes * 4
+        power = power_breakdown(report)
+        assert 90 < power["Total"] < 220
+        assert power["PEs"] > power["Total"] / 2  # Figure 18's PE share
+
+    def test_idle_power_is_static_only(self):
+        report = synthetic_report(flops=0, dram_bytes=0)
+        power = power_breakdown(report)
+        assert 0 < power["Total"] < 30  # leakage + clocks only
+
+    def test_power_scales_with_flops(self):
+        lo = power_breakdown(synthetic_report(flops=10 ** 12))
+        hi = power_breakdown(synthetic_report(flops=5 * 10 ** 12))
+        gained = hi["PEs"] - lo["PEs"]
+        want = _PJ_PER_FLOP * 4e12 * 1e-12 / synthetic_report().seconds
+        assert gained == pytest.approx(want, rel=1e-6)
+
+    def test_zero_cycle_report_safe(self):
+        power = power_breakdown(synthetic_report(cycles=0))
+        assert power["Total"] == 0.0
+
+
+class TestRenderers:
+    def test_cycle_breakdown_render(self):
+        entries = [{"matrix": "m1", "dgemm": 0.5, "tsolve": 0.1,
+                    "dchol": 0.05, "dlu": 0.0, "gather_updates": 0.15,
+                    "stalled": 0.2}]
+        text = render_cycle_breakdown(entries, "t")
+        assert "m1" in text and "50.0%" in text
+
+    def test_traffic_render(self):
+        entries = [{"matrix": "m1", "total_gb": 1.5, "avg_gbs": 300.0,
+                    "comp_load": 0.2, "gather_load": 0.1,
+                    "factor_load": 0.1, "store_spill": 0.3,
+                    "store_result": 0.3}]
+        text = render_traffic(entries, "t")
+        assert "300" in text and "1.50" in text
+
+    def test_power_render(self):
+        entries = [{"matrix": "m1", "PEs": 80.0, "Cache": 20.0,
+                    "NoC": 10.0, "HBM": 30.0, "Total": 140.0}]
+        text = render_power(entries, "t")
+        assert "140.0W" in text
+
+    def test_cdf_render_empty(self):
+        assert "empty" in render_cdf("x", np.array([]), np.array([]), "s")
+
+    def test_cdf_render_samples(self):
+        text = render_cdf("m", np.array([1, 2, 4, 8]),
+                          np.array([0.1, 0.5, 0.9, 1.0]), "size",
+                          n_points=2)
+        assert "size<=1" in text and "size<=8" in text
+
+    def test_dse_render_marks_selected(self):
+        points = [
+            {"n_pes": 8, "tile": 16, "cache_mb": 4.0, "hbm_phys": 1,
+             "area_mm2": 30.0, "gmean_speedup": 5.0, "selected": False},
+            {"n_pes": 32, "tile": 16, "cache_mb": 16.0, "hbm_phys": 2,
+             "area_mm2": 107.7, "gmean_speedup": 15.0, "selected": True},
+        ]
+        text = render_dse(points, "t")
+        assert "<- selected" in text
+        # Sorted by area: the small config prints first.
+        assert text.index("30.0") < text.index("107.7")

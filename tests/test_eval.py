@@ -1,0 +1,139 @@
+"""Tests for the evaluation harness (experiment drivers + renderers)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SpatulaConfig
+from repro.eval import (
+    EvalSettings,
+    analyze_suite_matrix,
+    figure5,
+    figure6,
+    figure7,
+    figure14,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    render_cdf,
+    render_cycle_breakdown,
+    render_dse,
+    render_power,
+    render_suite_table,
+    render_traffic,
+    run_suite_matrix,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.eval.experiments import gmean
+
+
+TINY = EvalSettings(scale=0.25, config=SpatulaConfig.paper())
+
+
+class TestSettings:
+    def test_quick_settings_shrink(self):
+        assert EvalSettings.quick().scale < EvalSettings().scale
+
+    def test_gmean(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+        assert gmean([]) == 0.0
+        assert gmean([0.0, 2.0]) == pytest.approx(2.0)  # zeros skipped
+
+
+class TestSuiteRows:
+    def test_run_one_matrix(self):
+        row = run_suite_matrix("bmwcra_1", TINY)
+        assert row.spatula_tflops > 0
+        assert row.speedup_vs_gpu > 1.0
+        assert row.speedup_vs_cpu > 1.0
+
+    def test_symbolic_cached(self):
+        a = analyze_suite_matrix("bmwcra_1", TINY)
+        b = analyze_suite_matrix("bmwcra_1", TINY)
+        assert a is b
+
+    def test_table3_subset(self):
+        rows = table3(TINY, names=["bmwcra_1", "G3_circuit"])
+        assert [r.name for r in rows] == ["bmwcra_1", "G3_circuit"]
+        assert all(r.kind == "cholesky" for r in rows)
+        text = render_suite_table(rows, "t3")
+        assert "gmean" in text and "bmwcra_1" in text
+
+    def test_table4_subset(self):
+        rows = table4(TINY, names=["TSOPF_b2383"])
+        assert rows[0].kind == "lu"
+
+    def test_table2_area(self):
+        areas = table2(TINY)
+        assert areas["Total"] == pytest.approx(107.7, abs=0.5)
+
+
+class TestFigures:
+    def test_figure5_four_matrices(self):
+        rows = figure5(TINY)
+        names = [r["matrix"] for r in rows]
+        assert names == ["atmosmodd", "ML_Geer", "human_gene1", "FullChip"]
+        for r in rows:
+            assert r["gpu_gflops"] > 0 and r["cpu_gflops"] > 0
+
+    def test_figure6_cdfs(self):
+        out = figure6(TINY)
+        for name, (sizes, cdf) in out.items():
+            assert np.all(np.diff(sizes) >= 0)
+            assert cdf[-1] == pytest.approx(1.0)
+            assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_figure7_curve_shape(self):
+        sizes, curve = figure7()
+        assert curve[-1] == pytest.approx(7000.0)
+        assert np.all(np.diff(curve) >= 0)
+        # Half rate at half the saturation size.
+        idx = np.searchsorted(sizes, 10000)
+        assert curve[idx] == pytest.approx(3500.0, rel=0.1)
+
+    def test_figure14_policies(self):
+        rows = figure14(TINY, names=["bmwcra_1"])
+        entry = rows[0]
+        assert entry["intra+inter"] >= entry["intra"] * 0.99
+        assert entry["intra+inter"] >= entry["inter"] * 0.99
+
+    def test_figure16_17_18_renderers(self):
+        rows = table3(TINY, names=["bmwcra_1"])
+        bd = figure16(rows)
+        assert bd[0]["stalled"] >= 0
+        assert "bmwcra_1" in render_cycle_breakdown(bd, "f16")
+        tr = figure17(rows)
+        assert tr[0]["total_gb"] > 0
+        assert "GB/s" in render_traffic(tr, "f17")
+        pw = figure18(rows)
+        assert pw[0]["Total"] > 0
+        assert "W" in render_power(pw, "f18")
+
+    def test_figure19_concurrency(self):
+        out = figure19(TINY, names=["bmwcra_1"])
+        levels, cdf = out["bmwcra_1"]
+        assert cdf[-1] == pytest.approx(1.0)
+        text = render_cdf("bmwcra_1", levels, cdf, "sn")
+        assert "bmwcra_1" in text
+
+    def test_figure20_dse(self):
+        points = figure20(
+            TINY, names=["bmwcra_1"],
+            sweep=[(8, 16, 4.0, 1), (32, 16, 16.0, 2)],
+        )
+        assert len(points) == 2
+        small, selected = sorted(points, key=lambda p: p["area_mm2"])
+        assert selected["selected"]
+        assert small["area_mm2"] < selected["area_mm2"]
+        assert "selected" in render_dse(points, "f20")
+
+    def test_table5_gpu_generations(self):
+        rows = table5(TINY, names=["TSOPF_b2383", "human_gene1"])
+        names = [r["gpu"] for r in rows]
+        assert names == ["V100", "A100", "H100"]
+        # Utilization drops on H100 (the paper's observation).
+        assert rows[2]["gmean_util_pct"] < rows[0]["gmean_util_pct"]

@@ -1,0 +1,138 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    arrow_spd,
+    arrow_unsym,
+    banded_spd,
+    bipartite_cover,
+    circuit_like,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    grid_unsym_2d,
+    grid_unsym_3d,
+    power_law_spd,
+    random_spd,
+    random_unsymmetric,
+)
+
+
+def is_spd(matrix):
+    dense = matrix.to_dense()
+    if not np.allclose(dense, dense.T):
+        return False
+    return bool(np.linalg.eigvalsh(dense).min() > 0)
+
+
+def is_diag_dominant(matrix):
+    dense = matrix.to_dense()
+    off = np.sum(np.abs(dense), axis=1) - np.abs(np.diag(dense))
+    return bool(np.all(np.abs(np.diag(dense)) >= off))
+
+
+SPD_BUILDERS = [
+    ("grid2d", lambda: grid_laplacian_2d(6, seed=1)),
+    ("grid2d-rect", lambda: grid_laplacian_2d(4, 7, seed=1)),
+    ("grid3d", lambda: grid_laplacian_3d(4, seed=2)),
+    ("grid3d-rect", lambda: grid_laplacian_3d(3, 4, 5, seed=2)),
+    ("banded", lambda: banded_spd(30, 3, seed=3)),
+    ("plaw", lambda: power_law_spd(80, seed=4)),
+    ("random", lambda: random_spd(40, density=0.1, seed=5)),
+    ("arrow", lambda: arrow_spd(4, 9, 6, seed=6)),
+]
+
+UNSYM_BUILDERS = [
+    ("circuit", lambda: circuit_like(64, seed=1)),
+    ("gridu2d", lambda: grid_unsym_2d(6, seed=2)),
+    ("gridu3d", lambda: grid_unsym_3d(4, seed=3)),
+    ("randu", lambda: random_unsymmetric(40, density=0.08, seed=4)),
+    ("arrowu", lambda: arrow_unsym(4, 9, 6, seed=5)),
+    ("bipartite", lambda: bipartite_cover(30, 30, degree=3, seed=6)),
+]
+
+
+@pytest.mark.parametrize("name,build", SPD_BUILDERS)
+def test_spd_generators_are_spd(name, build):
+    m = build()
+    m.validate()
+    assert is_spd(m), f"{name} is not SPD"
+
+
+@pytest.mark.parametrize("name,build", UNSYM_BUILDERS)
+def test_unsym_generators_diag_dominant(name, build):
+    m = build()
+    m.validate()
+    assert is_diag_dominant(m), f"{name} is not diagonally dominant"
+    assert np.all(m.diagonal() != 0)
+
+
+@pytest.mark.parametrize("name,build", SPD_BUILDERS + UNSYM_BUILDERS)
+def test_generators_deterministic(name, build):
+    a, b = build(), build()
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.allclose(a.data, b.data)
+
+
+def test_grid_2d_size_and_stencil():
+    m = grid_laplacian_2d(5, 6, seed=0)
+    assert m.shape == (30, 30)
+    # Interior nodes of a 5-point stencil have 4 off-diagonal neighbors.
+    dense = m.to_dense()
+    interior = 1 * 6 + 1  # node (1, 1)
+    assert np.count_nonzero(dense[interior]) == 5
+
+    m3 = grid_laplacian_3d(3, 4, 5, seed=0)
+    assert m3.shape == (60, 60)
+
+
+def test_seed_changes_values_not_pattern():
+    a = grid_laplacian_2d(5, seed=1)
+    b = grid_laplacian_2d(5, seed=2)
+    assert np.array_equal(a.indices, b.indices)
+    assert not np.allclose(a.data, b.data)
+
+
+def test_circuit_near_symmetric_pattern():
+    m = circuit_like(100, seed=9)
+    dense = m.to_dense() != 0
+    overlap = np.logical_and(dense, dense.T).sum() / dense.sum()
+    assert overlap > 0.7  # mostly symmetric
+    assert not m.is_structurally_symmetric()  # but not fully
+
+
+def test_circuit_has_hubs():
+    m = circuit_like(2500, hub_fraction=0.3, seed=10)
+    degrees = np.diff(m.indptr)
+    assert degrees.max() > 2.5 * np.median(degrees)
+
+
+def test_banded_bandwidth():
+    m = banded_spd(20, 2, seed=0)
+    rows = m.to_coo().rows
+    cols = m.to_coo().cols
+    assert np.abs(rows - cols).max() <= 2
+
+
+def test_arrow_block_structure():
+    m = arrow_spd(3, 16, 5, seed=0)
+    dense = m.to_dense() != 0
+    # Two different diagonal blocks never couple directly.
+    assert not dense[:16, 16:32].any()
+
+
+def test_random_spd_density_scales():
+    sparse = random_spd(50, density=0.02, seed=1)
+    dense = random_spd(50, density=0.2, seed=1)
+    assert dense.nnz > sparse.nnz
+
+
+def test_bipartite_block_structure():
+    m = bipartite_cover(20, 25, degree=3, seed=2)
+    assert m.shape == (45, 45)
+    pattern = m.to_dense() != 0
+    # Left-left coupling only via the diagonal.
+    left_block = pattern[:20, :20] & ~np.eye(20, dtype=bool)
+    assert not left_block.any()

@@ -1,0 +1,110 @@
+"""Tests for MatrixMarket IO."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip_general(tmp_path, rng):
+    dense = rng.standard_normal((6, 4))
+    dense[np.abs(dense) < 0.8] = 0.0
+    m = COOMatrix.from_dense(dense)
+    path = tmp_path / "a.mtx"
+    write_matrix_market(path, m)
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), dense)
+
+
+def test_roundtrip_symmetric(tmp_path, spd_small):
+    path = tmp_path / "s.mtx"
+    write_matrix_market(path, spd_small.to_coo(), symmetric=True)
+    back = CSCMatrix.from_coo(read_matrix_market(path))
+    assert np.allclose(back.to_dense(), spd_small.to_dense())
+
+
+def test_symmetric_file_smaller(tmp_path, spd_small):
+    p1 = tmp_path / "full.mtx"
+    p2 = tmp_path / "sym.mtx"
+    write_matrix_market(p1, spd_small.to_coo())
+    write_matrix_market(p2, spd_small.to_coo(), symmetric=True)
+    assert p2.stat().st_size < p1.stat().st_size
+
+
+def test_pattern_field(tmp_path):
+    path = tmp_path / "p.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "3 3 2\n2 1\n3 3\n"
+    )
+    m = read_matrix_market(path)
+    assert m.to_dense()[1, 0] == 1.0
+    assert m.to_dense()[2, 2] == 1.0
+
+
+def test_integer_field(tmp_path):
+    path = tmp_path / "i.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n1 2 7\n"
+    )
+    assert read_matrix_market(path).to_dense()[0, 1] == 7.0
+
+
+def test_comments_and_blanks_skipped(tmp_path):
+    path = tmp_path / "c.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "\n"
+        "2 2 1\n"
+        "% another\n"
+        "1 1 3.5\n"
+    )
+    assert read_matrix_market(path).to_dense()[0, 0] == 3.5
+
+
+def test_gzip_support(tmp_path, rng):
+    dense = rng.standard_normal((3, 3))
+    m = COOMatrix.from_dense(dense)
+    plain = tmp_path / "g.mtx"
+    write_matrix_market(plain, m)
+    gz = tmp_path / "g.mtx.gz"
+    gz.write_bytes(gzip.compress(plain.read_bytes()))
+    assert np.allclose(read_matrix_market(gz).to_dense(), dense)
+
+
+def test_rejects_non_matrixmarket(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("not a matrix\n1 2 3\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_rejects_array_format(tmp_path):
+    path = tmp_path / "arr.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_rejects_truncated(tmp_path):
+    path = tmp_path / "t.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"
+    )
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_rejects_complex_field(tmp_path):
+    path = tmp_path / "cx.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+    )
+    with pytest.raises(ValueError):
+        read_matrix_market(path)

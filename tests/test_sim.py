@@ -1,0 +1,222 @@
+"""Integration tests for the Spatula simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.energy import area_breakdown, power_breakdown
+from repro.arch.sim import SpatulaSim, simulate
+from repro.symbolic import symbolic_factorize
+from repro.tasks.plan import build_plan
+from repro.tasks.task import TaskType
+
+
+def run(matrix, kind="cholesky", config=None, **cfg_over):
+    config = config or SpatulaConfig.tiny(**cfg_over)
+    return simulate(matrix, kind=kind, config=config)
+
+
+class TestBasicExecution:
+    def test_completes_and_counts_tasks(self, spd_medium):
+        report = run(spd_medium)
+        assert report.cycles > 0
+        assert report.n_tasks > 0
+        assert report.n_supernodes > 0
+
+    def test_lu_completes(self, unsym_small):
+        report = run(unsym_small, kind="lu")
+        assert report.cycles > 0
+        assert report.busy_cycles_by_type[TaskType.DLU] > 0
+        assert report.busy_cycles_by_type[TaskType.DCHOL] == 0
+
+    def test_cholesky_uses_dchol_not_dlu(self, spd_medium):
+        report = run(spd_medium)
+        assert report.busy_cycles_by_type[TaskType.DCHOL] > 0
+        assert report.busy_cycles_by_type[TaskType.DLU] == 0
+
+    def test_deterministic(self, spd_medium):
+        r1 = run(spd_medium)
+        r2 = run(spd_medium)
+        assert r1.cycles == r2.cycles
+        assert r1.traffic_bytes == r2.traffic_bytes
+
+    def test_machine_flops_match_plan(self, spd_medium):
+        cfg = SpatulaConfig.tiny()
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=cfg.tile, supertile=cfg.supertile)
+        want = sum(plan.task_graph(k).total_flops()
+                   for k in range(plan.n_supernodes))
+        report = SpatulaSim(plan, cfg).run()
+        assert report.machine_flops == want
+
+    def test_all_tasks_executed(self, spd_medium):
+        cfg = SpatulaConfig.tiny()
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=cfg.tile, supertile=cfg.supertile)
+        want = sum(plan.task_graph(k).n_tasks
+                   for k in range(plan.n_supernodes))
+        report = SpatulaSim(plan, cfg).run()
+        assert report.n_tasks == want
+
+    def test_tile_mismatch_rejected(self, spd_small):
+        sf = symbolic_factorize(spd_small)
+        plan = build_plan(sf, tile=8, supertile=4)
+        with pytest.raises(ValueError):
+            SpatulaSim(plan, SpatulaConfig.tiny())  # tile=4 != 8
+
+    def test_single_supernode_matrix(self):
+        from repro.sparse.csc import CSCMatrix
+        dense = np.eye(6) * 10 - 0.5
+        report = run(CSCMatrix.from_dense(dense))
+        assert report.n_supernodes == 1
+        assert report.cycles > 0
+
+
+class TestMetrics:
+    def test_cycle_breakdown_sums_to_one(self, spd_medium):
+        report = run(spd_medium)
+        assert sum(report.cycle_breakdown().values()) == pytest.approx(1.0)
+
+    def test_utilization_bounded(self, spd_medium):
+        report = run(spd_medium)
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_achieved_tflops_below_peak(self, spd_medium):
+        report = run(spd_medium)
+        assert 0.0 < report.achieved_tflops < report.config.peak_tflops
+
+    def test_traffic_fractions_sum_to_one(self, spd_medium):
+        report = run(spd_medium)
+        assert sum(report.traffic_fractions().values()) \
+            == pytest.approx(1.0)
+
+    def test_compulsory_traffic_present(self, spd_medium):
+        report = run(spd_medium)
+        assert report.traffic_bytes["comp_load"] > 0
+
+    def test_result_stores_present(self, spd_medium):
+        report = run(spd_medium)
+        assert report.traffic_bytes["store_result"] > 0
+
+    def test_concurrency_cdf_valid(self, spd_medium):
+        report = run(spd_medium)
+        levels, cdf = report.concurrency_cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert levels.min() >= 1
+
+    def test_mean_concurrency_positive(self, spd_medium):
+        report = run(spd_medium)
+        assert report.mean_concurrency() >= 1.0
+
+    def test_summary_mentions_matrix(self, spd_small):
+        cfg = SpatulaConfig.tiny()
+        report = simulate(spd_small, config=cfg, matrix_name="mymatrix")
+        assert "mymatrix" in report.summary()
+
+    def test_bandwidth_below_hbm_peak(self, spd_medium):
+        report = run(spd_medium)
+        cfg = report.config
+        peak_gbs = cfg.hbm_phys * cfg.hbm_gbs_per_phy
+        assert report.avg_bandwidth_gbs <= peak_gbs * 1.01
+
+
+class TestSchedulingPolicies:
+    @pytest.mark.parametrize("policy", ["intra+inter", "intra", "inter"])
+    def test_all_policies_complete(self, policy, spd_medium):
+        report = run(spd_medium, policy=policy)
+        assert report.cycles > 0
+
+    def test_combined_policy_fastest(self, spd_medium):
+        cycles = {
+            policy: run(spd_medium, policy=policy).cycles
+            for policy in ("intra+inter", "intra", "inter")
+        }
+        assert cycles["intra+inter"] <= cycles["intra"]
+        assert cycles["intra+inter"] <= cycles["inter"]
+
+    def test_intra_runs_one_supernode_at_a_time(self, spd_medium):
+        report = run(spd_medium, policy="intra")
+        levels, _ = report.concurrency_cdf()
+        assert levels.max() == 1
+
+    def test_bf_order_beats_rowmajor(self, spd_dense_ish):
+        bf = run(spd_dense_ish, order="bf")
+        rm = run(spd_dense_ish, order="rowmajor")
+        assert bf.cycles <= rm.cycles
+
+    def test_dataflow_window_helps_or_equal(self, spd_medium):
+        inorder = run(spd_medium, dataflow_window=1)
+        ooo = run(spd_medium, dataflow_window=16)
+        # The paper found < 10% gains; it must never be much worse.
+        assert ooo.cycles <= inorder.cycles * 1.1
+
+    def test_more_pes_not_slower(self, spd_medium):
+        small = run(spd_medium, n_pes=1)
+        big = run(spd_medium, n_pes=8, cache_banks=8)
+        assert big.cycles <= small.cycles
+
+    def test_bigger_cache_not_slower(self, spd_dense_ish):
+        tiny_cache = run(spd_dense_ish, cache_mb=0.03125)
+        big_cache = run(spd_dense_ish, cache_mb=1.0)
+        assert big_cache.cycles <= tiny_cache.cycles * 1.05
+        assert big_cache.traffic_bytes["store_spill"] \
+            <= tiny_cache.traffic_bytes["store_spill"]
+
+
+class TestEnergyModels:
+    def test_paper_area_matches_table2(self):
+        areas = area_breakdown(SpatulaConfig.paper())
+        assert areas["Total"] == pytest.approx(107.7, abs=0.5)
+        assert areas["PEs"] == pytest.approx(43.5, abs=0.1)
+        assert areas["Cache"] == pytest.approx(17.6, abs=0.1)
+        assert areas["NoC"] == pytest.approx(16.7, abs=0.1)
+        assert areas["HBM PHYs"] == pytest.approx(29.8, abs=0.1)
+
+    def test_area_scales_with_pes(self):
+        small = area_breakdown(SpatulaConfig.paper(n_pes=16))
+        big = area_breakdown(SpatulaConfig.paper(n_pes=64))
+        assert big["PEs"] == pytest.approx(4 * small["PEs"])
+
+    def test_power_breakdown_positive(self, spd_medium):
+        report = run(spd_medium)
+        power = power_breakdown(report)
+        assert power["Total"] > 0
+        assert power["Total"] == pytest.approx(
+            power["PEs"] + power["Cache"] + power["NoC"] + power["HBM"]
+        )
+
+    def test_power_tracks_activity(self, spd_small, spd_medium):
+        light = power_breakdown(run(spd_small))
+        heavy = power_breakdown(run(spd_medium))
+        # More utilization -> more PE power (same config).
+        assert heavy["PEs"] >= light["PEs"] * 0.5
+
+
+class TestDependenceCorrectness:
+    def test_no_task_runs_before_deps(self, spd_medium):
+        """Replay the simulation, recording completion times, and check
+        every dependence edge was respected by execution start times."""
+        cfg = SpatulaConfig.tiny()
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=cfg.tile, supertile=cfg.supertile)
+        sim = SpatulaSim(plan, cfg)
+        starts: dict[tuple, int] = {}
+        ends: dict[tuple, int] = {}
+        original = sim._on_exec_done
+
+        seen_pairs = []
+
+        def spy_exec_done(payload, now):
+            _pe, gen_sn, tidx = payload
+            ends[(gen_sn, tidx)] = now
+            original(payload, now)
+
+        sim._on_exec_done = spy_exec_done
+        sim.run()
+        # All tasks ended; dependences in each graph must be ordered.
+        for k in range(plan.n_supernodes):
+            graph = plan.task_graph(k)
+            for t, deps in enumerate(graph.deps):
+                for d in deps:
+                    assert ends[(k, d)] <= ends[(k, t)]

@@ -1,0 +1,83 @@
+"""Tests for the triangular-solve phase model."""
+
+import pytest
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.sim import SpatulaSim
+from repro.arch.solve import SolveSim, simulate_solve
+from repro.sparse import banded_spd, grid_laplacian_3d
+from repro.symbolic import symbolic_factorize
+from repro.tasks.plan import build_plan
+
+
+def make_plan(matrix, config, kind="cholesky", **kw):
+    symbolic = symbolic_factorize(matrix, kind=kind, **kw)
+    return build_plan(symbolic, tile=config.tile,
+                      supertile=config.supertile)
+
+
+class TestSolvePhase:
+    def test_runs_and_reports(self, spd_medium, tiny_config):
+        plan = make_plan(spd_medium, tiny_config)
+        report = simulate_solve(plan, tiny_config)
+        assert report.forward_cycles > 0
+        assert report.backward_cycles > 0
+        assert report.dram_bytes > 0
+        assert report.n_supernodes == plan.n_supernodes
+
+    def test_deterministic(self, spd_medium, tiny_config):
+        plan = make_plan(spd_medium, tiny_config)
+        a = simulate_solve(plan, tiny_config)
+        b = simulate_solve(plan, tiny_config)
+        assert a.cycles == b.cycles
+
+    def test_sweeps_similar_cost(self, spd_medium, tiny_config):
+        # Forward and backward sweeps stream the same panels.
+        plan = make_plan(spd_medium, tiny_config)
+        report = simulate_solve(plan, tiny_config)
+        ratio = report.forward_cycles / report.backward_cycles
+        assert 0.5 < ratio < 2.0
+
+    def test_solve_cheaper_than_factorization(self):
+        # Figure 2: the solve phase is fast relative to factorization
+        # once fronts carry real cubic work.
+        cfg = SpatulaConfig.paper()
+        matrix = grid_laplacian_3d(16, seed=1)
+        plan = make_plan(matrix, cfg, ordering="nd", relax_small=32,
+                         relax_ratio=0.5, force_small=64)
+        factor = SpatulaSim(plan, cfg).run()
+        solve = simulate_solve(plan, cfg)
+        assert solve.cycles < factor.cycles
+
+    def test_bandwidth_below_peak(self, spd_medium, tiny_config):
+        plan = make_plan(spd_medium, tiny_config)
+        report = simulate_solve(plan, tiny_config)
+        peak = tiny_config.hbm_phys * tiny_config.hbm_gbs_per_phy
+        assert 0 < report.avg_bandwidth_gbs <= peak
+
+    def test_chain_tree_serializes(self, tiny_config):
+        # A banded matrix in natural order yields a chain of supernodes:
+        # the sweep cannot parallelize, so more PEs must not help.
+        matrix = banded_spd(64, 2, seed=1)
+        plan = make_plan(matrix, tiny_config, ordering="natural")
+        one_pe = simulate_solve(plan, SpatulaConfig.tiny(n_pes=1))
+        two_pe = simulate_solve(plan, tiny_config)
+        assert two_pe.cycles >= 0.9 * one_pe.cycles
+
+    def test_bushy_tree_parallelizes(self):
+        matrix = grid_laplacian_3d(8, seed=2)
+        cfg_small = SpatulaConfig.small()
+        plan = make_plan(matrix, cfg_small, ordering="nd")
+        one = simulate_solve(plan, SpatulaConfig.small(n_pes=1))
+        many = simulate_solve(plan, cfg_small)
+        assert many.cycles < one.cycles
+
+    def test_tile_mismatch_rejected(self, spd_small, tiny_config):
+        plan = make_plan(spd_small, tiny_config)
+        with pytest.raises(ValueError):
+            SolveSim(plan, SpatulaConfig.small())
+
+    def test_lu_solve_phase(self, unsym_small, tiny_config):
+        plan = make_plan(unsym_small, tiny_config, kind="lu")
+        report = simulate_solve(plan, tiny_config)
+        assert report.cycles > 0

@@ -1,0 +1,93 @@
+"""Tests for the named evaluation-matrix suite."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.suite import (
+    cholesky_suite,
+    get_matrix,
+    get_spec,
+    lu_suite,
+    suite_names,
+)
+
+
+def test_twenty_matrices_each():
+    assert len(cholesky_suite()) == 20
+    assert len(lu_suite()) == 20
+
+
+def test_paper_table3_order_preserved():
+    names = [s.name for s in cholesky_suite()]
+    assert names[0] == "Serena"
+    assert names[-1] == "G3_circuit"
+    assert "audikw_1" in names and "bone010" in names
+
+
+def test_paper_table4_order_preserved():
+    names = [s.name for s in lu_suite()]
+    assert names[0] == "cage13"
+    assert names[-1] == "rajat31"
+    assert "FullChip" in names and "atmosmodd" in names
+
+
+def test_no_duplicate_names():
+    names = suite_names()
+    assert len(names) == len(set(names)) == 40
+
+
+def test_kinds_consistent():
+    for spec in cholesky_suite():
+        assert spec.kind == "spd"
+    for spec in lu_suite():
+        assert spec.kind == "unsym"
+
+
+def test_get_spec_unknown_raises():
+    with pytest.raises(KeyError):
+        get_spec("not_a_matrix")
+
+
+def test_get_matrix_bad_scale():
+    with pytest.raises(ValueError):
+        get_matrix("Serena", scale=0.0)
+
+
+@pytest.mark.parametrize("name", ["Serena", "G3_circuit"])
+def test_spd_suite_matrices_are_symmetric(name):
+    m = get_matrix(name, scale=0.3)
+    m.validate()
+    assert m.is_symmetric()
+
+
+@pytest.mark.parametrize("name", ["FullChip", "kkt_power", "language"])
+def test_lu_suite_matrices_valid(name):
+    m = get_matrix(name, scale=0.3)
+    m.validate()
+    assert m.n_rows == m.n_cols
+    assert np.all(m.diagonal() != 0)
+
+
+def test_scale_shrinks_matrices():
+    small = get_matrix("Serena", scale=0.3)
+    base = get_matrix("Serena", scale=1.0)
+    assert small.n_rows < base.n_rows
+
+
+def test_suite_deterministic():
+    a = get_matrix("atmosmodd", scale=0.4)
+    b = get_matrix("atmosmodd", scale=0.4)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.allclose(a.data, b.data)
+
+
+def test_orderings_are_known_methods():
+    for spec in cholesky_suite() + lu_suite():
+        assert spec.ordering in ("amd", "nd", "rcm", "natural")
+
+
+def test_suite_names_filter():
+    assert len(suite_names("spd")) == 20
+    assert len(suite_names("unsym")) == 20
+    assert set(suite_names("spd")) | set(suite_names("unsym")) \
+        == set(suite_names())

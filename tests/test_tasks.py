@@ -1,0 +1,254 @@
+"""Tests for the task decomposition: task graphs, FLOP accounting, and
+whole-matrix plans."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import symbolic_factorize
+from repro.symbolic.tiling import TileGrid
+from repro.tasks.flops import (
+    dchol_task_flops,
+    dgemm_task_flops,
+    dlu_task_flops,
+    matrix_factor_flops,
+    supernode_factor_flops,
+    task_flops,
+    tsolve_task_flops,
+)
+from repro.tasks.graph import build_task_graph
+from repro.tasks.plan import build_plan
+from repro.tasks.task import Task, TaskType, TileRef
+
+
+def grid(front, pivots, tile=4, supertile=4):
+    return TileGrid(front_size=front, n_pivot_cols=pivots, tile=tile,
+                    supertile=supertile)
+
+
+class TestFlopFormulas:
+    def test_supernode_full_factor_cubic(self):
+        flops = supernode_factor_flops(60, 60, symmetric=True)
+        assert abs(flops - 60 ** 3 / 3) / (60 ** 3 / 3) < 0.15
+
+    def test_lu_double_cholesky(self):
+        chol = supernode_factor_flops(40, 20, symmetric=True)
+        lu = supernode_factor_flops(40, 20, symmetric=False)
+        assert 1.5 < lu / chol < 2.5
+
+    def test_partial_less_than_full(self):
+        assert supernode_factor_flops(40, 10, True) \
+            < supernode_factor_flops(40, 40, True)
+
+    def test_matrix_factor_flops_sums(self):
+        fronts = np.array([10, 20])
+        pivots = np.array([5, 20])
+        assert matrix_factor_flops(fronts, pivots, True) == (
+            supernode_factor_flops(10, 5, True)
+            + supernode_factor_flops(20, 20, True)
+        )
+
+    def test_task_flops_dispatch(self):
+        assert task_flops("dgemm", 4, 4, [4, 4]) \
+            == dgemm_task_flops(4, 4, [4, 4]) == 2 * 4 * 4 * 8
+        assert task_flops("tsolve", 4, 3) == tsolve_task_flops(4, 3)
+        assert task_flops("dchol", 4, 4) == dchol_task_flops(4)
+        assert task_flops("dlu", 4, 4) == dlu_task_flops(4)
+        assert task_flops("gather_updates", 4, 4, [1, 1]) == 32
+        with pytest.raises(ValueError):
+            task_flops("fft", 4, 4)
+
+
+class TestCholeskyGraph:
+    def test_single_tile_front(self):
+        g = build_task_graph(0, grid(4, 4), "cholesky")
+        assert g.n_tasks == 1
+        assert g.tasks[0].ttype is TaskType.DCHOL
+
+    def test_two_block_front_structure(self):
+        g = build_task_graph(0, grid(8, 8), "cholesky")
+        types = [t.ttype for t in g.tasks]
+        # chol(0,0); tsolve(1,0); dgemm(1,1); chol(1,1)
+        assert types == [TaskType.DCHOL, TaskType.TSOLVE, TaskType.DGEMM,
+                         TaskType.DCHOL]
+
+    def test_figure11_task_counts(self):
+        # A 4-block fully-factored front (Figure 11): per column k, one
+        # chol + (B-k-1) tsolves; every tile below/at the diagonal in
+        # columns k >= 1 gets one aggregated dgemm.
+        b = 4
+        g = build_task_graph(0, grid(4 * b, 4 * b), "cholesky")
+        counts = {ttype: 0 for ttype in TaskType}
+        for t in g.tasks:
+            counts[t.ttype] += 1
+        assert counts[TaskType.DCHOL] == b
+        assert counts[TaskType.TSOLVE] == b * (b - 1) // 2
+        assert counts[TaskType.DGEMM] == b * (b - 1) // 2
+
+    def test_topological_and_deps_backward(self):
+        g = build_task_graph(0, grid(40, 24), "cholesky")
+        g.validate_topological()
+
+    def test_schur_tiles_have_no_factor_tasks(self):
+        g = build_task_graph(0, grid(16, 8), "cholesky")
+        for t in g.tasks:
+            if t.dest.block_col >= 2:  # update region at tile=4
+                assert t.ttype in (TaskType.DGEMM, TaskType.GATHER)
+
+    def test_supertile_splits_dgemms(self):
+        wide = build_task_graph(0, grid(40, 40, tile=4, supertile=10),
+                                "cholesky")
+        split = build_task_graph(0, grid(40, 40, tile=4, supertile=2),
+                                 "cholesky")
+        n_wide = sum(t.ttype is TaskType.DGEMM for t in wide.tasks)
+        n_split = sum(t.ttype is TaskType.DGEMM for t in split.tasks)
+        assert n_split > n_wide
+        assert wide.total_flops() == split.total_flops()
+
+    def test_dgemm_inputs_are_pairs(self):
+        g = build_task_graph(0, grid(20, 20), "cholesky")
+        for t in g.tasks:
+            if t.ttype is TaskType.DGEMM:
+                assert len(t.inputs) == 2 * t.n_pairs
+
+    def test_rowmajor_same_tasks_different_order(self):
+        bf = build_task_graph(0, grid(20, 20), "cholesky", order="bf")
+        rm = build_task_graph(0, grid(20, 20), "cholesky", order="rowmajor")
+        rm.validate_topological()
+        assert bf.n_tasks == rm.n_tasks
+        assert bf.total_flops() == rm.total_flops()
+
+        def key(t):
+            return (t.ttype.value, t.dest.block_row, t.dest.block_col)
+
+        assert sorted(map(key, bf.tasks)) == sorted(map(key, rm.tasks))
+
+    def test_unknown_order_raises(self):
+        with pytest.raises(ValueError):
+            build_task_graph(0, grid(8, 8), "cholesky", order="zigzag")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            build_task_graph(0, grid(8, 8), "qr")
+
+
+class TestLUGraph:
+    def test_single_tile(self):
+        g = build_task_graph(0, grid(4, 4), "lu")
+        assert [t.ttype for t in g.tasks] == [TaskType.DLU]
+
+    def test_full_square_counts(self):
+        b = 3
+        g = build_task_graph(0, grid(4 * b, 4 * b), "lu")
+        counts = {ttype: 0 for ttype in TaskType}
+        for t in g.tasks:
+            counts[t.ttype] += 1
+        assert counts[TaskType.DLU] == b
+        assert counts[TaskType.TSOLVE] == b * (b - 1)  # L and U panels
+
+    def test_l_and_u_panels_tagged(self):
+        g = build_task_graph(0, grid(12, 12), "lu")
+        tags = {t.tag for t in g.tasks if t.ttype is TaskType.TSOLVE}
+        assert tags == {"L", "U"}
+
+    def test_topological(self):
+        g = build_task_graph(0, grid(24, 12), "lu")
+        g.validate_topological()
+
+    def test_rowmajor_equivalent(self):
+        bf = build_task_graph(0, grid(16, 8), "lu", order="bf")
+        rm = build_task_graph(0, grid(16, 8), "lu", order="rowmajor")
+        rm.validate_topological()
+        assert bf.total_flops() == rm.total_flops()
+
+    def test_lu_flops_double_cholesky_graph(self):
+        lu = build_task_graph(0, grid(24, 24), "lu").total_flops()
+        ch = build_task_graph(0, grid(24, 24), "cholesky").total_flops()
+        assert 1.4 < lu / ch < 2.6
+
+
+class TestGatherTasks:
+    def test_gathers_emitted_first(self):
+        gather_inputs = {(0, 0): [TileRef(9, 1, 1)]}
+        g = build_task_graph(1, grid(8, 4), "cholesky", gather_inputs)
+        assert g.tasks[0].ttype is TaskType.GATHER
+        assert g.tasks[0].inputs == [TileRef(9, 1, 1)]
+
+    def test_gather_precedes_compute_on_same_tile(self):
+        gather_inputs = {(1, 1): [TileRef(9, 1, 1)]}
+        g = build_task_graph(1, grid(8, 8), "cholesky", gather_inputs)
+        gather_idx = next(i for i, t in enumerate(g.tasks)
+                          if t.ttype is TaskType.GATHER)
+        for i, t in enumerate(g.tasks):
+            if t.ttype is not TaskType.GATHER and \
+                    (t.dest.block_row, t.dest.block_col) == (1, 1):
+                assert gather_idx in _transitive_deps(g, i)
+
+    def test_gather_flops_counted(self):
+        gather_inputs = {(0, 0): [TileRef(9, 1, 1), TileRef(8, 0, 0)]}
+        g = build_task_graph(1, grid(4, 4), "cholesky", gather_inputs)
+        assert g.tasks[0].flops == 4 * 4 * 2
+
+
+def _transitive_deps(graph, t):
+    seen = set()
+    stack = list(graph.deps[t])
+    while stack:
+        d = stack.pop()
+        if d not in seen:
+            seen.add(d)
+            stack.extend(graph.deps[d])
+    return seen
+
+
+class TestPlan:
+    def test_plan_covers_all_supernodes(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=4, supertile=4)
+        assert plan.n_supernodes == sf.n_supernodes
+
+    def test_gather_inputs_reference_children(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=4, supertile=4)
+        for sn in sf.tree.supernodes:
+            sp = plan.supernodes[sn.index]
+            children = set(sn.children)
+            for refs in sp.gather_inputs.values():
+                for ref in refs:
+                    assert ref.sn in children
+
+    def test_gather_only_on_lower_tiles_for_cholesky(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=4, supertile=4)
+        for sp in plan.supernodes:
+            for (i, j) in sp.gather_inputs:
+                assert i >= j
+
+    def test_task_flops_close_to_analytic(self, spd_medium):
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=4, supertile=4)
+        task_total = sum(
+            plan.task_graph(k).total_flops()
+            for k in range(plan.n_supernodes)
+        )
+        analytic = plan.total_factor_flops()
+        assert task_total >= analytic  # padding only adds work
+        assert task_total < 4 * analytic
+
+    def test_plan_lu(self, unsym_small):
+        sf = symbolic_factorize(unsym_small, kind="lu")
+        plan = build_plan(sf, tile=4, supertile=4)
+        for k in range(plan.n_supernodes):
+            plan.task_graph(k).validate_topological()
+
+    def test_every_update_tile_gathered_somewhere(self, spd_medium):
+        # Every child with update rows must appear in its parent's
+        # gather inputs.
+        sf = symbolic_factorize(spd_medium)
+        plan = build_plan(sf, tile=4, supertile=4)
+        gathered = set()
+        for sp in plan.supernodes:
+            for refs in sp.gather_inputs.values():
+                gathered.update(ref.sn for ref in refs)
+        for sn in sf.tree.supernodes:
+            if sn.parent >= 0 and sn.n_update_rows > 0:
+                assert sn.index in gathered

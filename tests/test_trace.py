@@ -1,0 +1,105 @@
+"""Tests for execution tracing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SpatulaConfig
+from repro.arch.sim import SpatulaSim
+from repro.arch.trace import (
+    TraceEvent,
+    export_chrome_trace,
+    render_gantt,
+    utilization_timeline,
+)
+from repro.symbolic import symbolic_factorize
+from repro.tasks.plan import build_plan
+
+
+@pytest.fixture
+def traced_sim(spd_medium):
+    cfg = SpatulaConfig.tiny()
+    symbolic = symbolic_factorize(spd_medium)
+    plan = build_plan(symbolic, tile=cfg.tile, supertile=cfg.supertile)
+    sim = SpatulaSim(plan, cfg, trace=True)
+    report = sim.run()
+    return sim, report
+
+
+class TestTraceCollection:
+    def test_one_event_per_task(self, traced_sim):
+        sim, report = traced_sim
+        assert len(sim.trace) == report.n_tasks
+
+    def test_events_within_horizon(self, traced_sim):
+        sim, report = traced_sim
+        for event in sim.trace:
+            assert 0 <= event.start < event.end <= report.cycles
+            assert 0 <= event.pe < report.config.n_pes
+
+    def test_no_overlap_per_pe(self, traced_sim):
+        sim, _ = traced_sim
+        by_pe = {}
+        for e in sim.trace:
+            by_pe.setdefault(e.pe, []).append((e.start, e.end))
+        for intervals in by_pe.values():
+            intervals.sort()
+            for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2, "array executed two tasks at once"
+
+    def test_busy_cycles_match_trace(self, traced_sim):
+        sim, report = traced_sim
+        traced_busy = sum(e.duration for e in sim.trace)
+        assert traced_busy == sum(report.busy_cycles_by_type.values())
+
+    def test_disabled_by_default(self, spd_small):
+        cfg = SpatulaConfig.tiny()
+        symbolic = symbolic_factorize(spd_small)
+        plan = build_plan(symbolic, tile=cfg.tile, supertile=cfg.supertile)
+        sim = SpatulaSim(plan, cfg)
+        sim.run()
+        assert sim.trace is None
+
+
+class TestRenderers:
+    def test_gantt_shape(self, traced_sim):
+        sim, _ = traced_sim
+        text = render_gantt(sim.trace, sim.config.n_pes, width=40)
+        lines = text.splitlines()
+        assert len(lines) == sim.config.n_pes + 1  # PEs + legend
+        assert all("|" in line for line in lines[:-1])
+
+    def test_gantt_empty(self):
+        assert "no events" in render_gantt([], 2)
+
+    def test_utilization_bounded(self, traced_sim):
+        sim, _ = traced_sim
+        util = utilization_timeline(sim.trace, sim.config.n_pes, 20)
+        assert util.shape == (20,)
+        assert np.all(util >= 0) and np.all(util <= 1.0 + 1e-9)
+
+    def test_utilization_integral_matches_busy(self, traced_sim):
+        sim, report = traced_sim
+        n_buckets = 25
+        util = utilization_timeline(sim.trace, sim.config.n_pes, n_buckets)
+        horizon = max(e.end for e in sim.trace)
+        scale = max(1, -(-horizon // n_buckets))
+        total = util.sum() * scale * sim.config.n_pes
+        assert total == pytest.approx(
+            sum(e.duration for e in sim.trace), rel=1e-9
+        )
+
+    def test_chrome_export_roundtrip(self, traced_sim, tmp_path):
+        sim, _ = traced_sim
+        path = tmp_path / "t.json"
+        export_chrome_trace(sim.trace, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == len(sim.trace)
+        tids = {e["tid"] for e in data["traceEvents"]}
+        assert tids <= set(range(sim.config.n_pes))
+
+    def test_trace_event_duration(self):
+        e = TraceEvent(pe=0, start=10, end=25, ttype="dgemm", sn=1,
+                       task_index=2)
+        assert e.duration == 15
