@@ -15,7 +15,6 @@ paper's stated design arguments:
 
 from dataclasses import replace
 
-from repro.arch.config import SpatulaConfig
 from repro.arch.sim import SpatulaSim
 from repro.eval.experiments import analyze_suite_matrix, _plan_for
 

@@ -11,7 +11,7 @@ Run:  python examples/circuit_simulation.py
 
 import numpy as np
 
-from repro import SparseSolver, SpatulaConfig, symbolic_factorize
+from repro import SparseSolver, SpatulaConfig
 from repro.arch.sim import SpatulaSim
 from repro.arch.solve import simulate_solve
 from repro.baselines import CPUModel, GPUModel

@@ -14,7 +14,9 @@ The package layers, bottom to top:
 * :mod:`repro.arch`     — the Spatula cycle-level simulator (the paper's
   contribution);
 * :mod:`repro.baselines`— GPU and CPU performance models;
-* :mod:`repro.eval`     — drivers regenerating every table and figure.
+* :mod:`repro.eval`     — drivers regenerating every table and figure;
+* :mod:`repro.obs`      — the instrumentation layer: metrics registry,
+  pipeline spans, run artifacts, logging (see docs/OBSERVABILITY.md).
 
 Quick start::
 
@@ -33,6 +35,13 @@ Quick start::
 
 from repro.arch import SimReport, SpatulaConfig, SpatulaSim, simulate
 from repro.numeric import SparseSolver
+from repro.obs import (
+    MetricsRegistry,
+    RunArtifact,
+    enable_tracing,
+    get_tracer,
+    span,
+)
 from repro.sparse import CSCMatrix, COOMatrix
 from repro.symbolic import SymbolicFactorization, symbolic_factorize
 
@@ -48,5 +57,10 @@ __all__ = [
     "SpatulaSim",
     "SimReport",
     "simulate",
+    "MetricsRegistry",
+    "RunArtifact",
+    "span",
+    "get_tracer",
+    "enable_tracing",
     "__version__",
 ]

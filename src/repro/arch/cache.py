@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.config import SpatulaConfig
 from repro.arch.memory import HBMModel
@@ -37,6 +37,7 @@ class CacheStats:
     dirty_evictions: int = 0
     bytes_accessed: int = 0
     mshr_stall_cycles: int = 0
+    bank_wait_cycles: int = 0
 
     @property
     def accesses(self) -> int:
@@ -46,6 +47,15 @@ class CacheStats:
     def hit_rate(self) -> float:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 1.0
+
+    def export_metrics(self, registry, prefix: str = "cache") -> None:
+        """Fold the counters into a metrics registry (``cache.hits``,
+        ``cache.misses``, ...)."""
+        for name in ("hits", "misses", "allocations", "stores",
+                     "dirty_evictions", "bytes_accessed",
+                     "mshr_stall_cycles", "bank_wait_cycles"):
+            registry.counter(f"{prefix}.{name}").inc(getattr(self, name))
+        registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
 
 
 class BankedCache:
@@ -89,11 +99,13 @@ class BankedCache:
 
     def _reserve_bank(self, bank: int, cycle: int) -> int:
         start = max(cycle, self._bank_free[bank])
+        self.stats.bank_wait_cycles += start - cycle
         self._bank_free[bank] = start + self.config.bank_transfer_cycles
         return start
 
     def _reserve_bank_write(self, bank: int, cycle: int) -> int:
         start = max(cycle, self._bank_wfree[bank])
+        self.stats.bank_wait_cycles += start - cycle
         self._bank_wfree[bank] = start + self.config.bank_transfer_cycles
         return start
 

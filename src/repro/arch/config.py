@@ -9,7 +9,7 @@ the design-space exploration of Figure 20.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,6 @@ with simulated activity factors exactly as the paper does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.arch.config import SpatulaConfig
 from repro.arch.stats import SimReport

@@ -177,7 +177,6 @@ class TileExecutor:
 
     def _exec_gather(self, task: Task) -> None:
         parent_ref = task.dest
-        parent_plan = self.plan.supernodes[parent_ref.sn]
         parent_sn = self.plan.symbolic.tree.supernodes[parent_ref.sn]
         t = self.tile
         p_r0 = parent_ref.block_row * t
@@ -226,7 +225,6 @@ class TileExecutor:
 
         rows_all, cols_all, vals_all = [], [], []
         for sn in self.plan.symbolic.tree.supernodes:
-            grid = self.plan.supernodes[sn.index].grid
             t = self.tile
             for local_col in range(sn.n_cols):
                 col = sn.first_col + local_col

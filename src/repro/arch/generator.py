@@ -34,6 +34,8 @@ class Generator:
     window: int = 1
     head: int = 0
     n_done: int = 0
+    n_dispatched: int = 0
+    peak_outstanding: int = 0   # max tasks dispatched but not yet complete
     indegree: list[int] = field(default_factory=list)
     dependents: list[list[int]] = field(default_factory=list)
     dispatched: list[bool] = field(default_factory=list)
@@ -86,6 +88,10 @@ class Generator:
                 f"task {t} dispatched with unresolved dependences"
             )
         self.dispatched[t] = True
+        self.n_dispatched += 1
+        outstanding = self.n_dispatched - self.n_done
+        if outstanding > self.peak_outstanding:
+            self.peak_outstanding = outstanding
         self._advance_head()
 
     def on_complete(self, t: int) -> None:

@@ -31,10 +31,13 @@ class HBMModel:
     config: SpatulaConfig
     channel_free: list[int] = field(default_factory=list)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_channel: list[int] = field(default_factory=list)
+    channel_wait_cycles: int = 0
 
     def __post_init__(self) -> None:
         self.channel_free = [0] * self.config.hbm_channels
         self.bytes_by_kind = {k: 0 for k in TRAFFIC_KINDS}
+        self.bytes_by_channel = [0] * self.config.hbm_channels
 
     def read_line(self, channel: int, cycle: int, kind: str) -> int:
         """Issue a line read; returns the cycle data is available."""
@@ -42,7 +45,9 @@ class HBMModel:
         start = max(cycle, self.channel_free[channel])
         done = start + self.config.hbm_latency + occupancy
         self.channel_free[channel] = start + occupancy
+        self.channel_wait_cycles += start - cycle
         self.bytes_by_kind[kind] += self.config.tile_bytes
+        self.bytes_by_channel[channel] += self.config.tile_bytes
         return done
 
     def write_line(self, channel: int, cycle: int, kind: str) -> int:
@@ -50,7 +55,9 @@ class HBMModel:
         occupancy = self.config.hbm_line_cycles
         start = max(cycle, self.channel_free[channel])
         self.channel_free[channel] = start + occupancy
+        self.channel_wait_cycles += start - cycle
         self.bytes_by_kind[kind] += self.config.tile_bytes
+        self.bytes_by_channel[channel] += self.config.tile_bytes
         return start + occupancy
 
     def read_bulk(self, n_bytes: int, cycle: int, kind: str) -> int:
@@ -58,19 +65,33 @@ class HBMModel:
         channels; returns the completion cycle."""
         if n_bytes <= 0:
             return cycle
-        per_chan = n_bytes / self.config.hbm_channels
+        n_channels = self.config.hbm_channels
+        per_chan = n_bytes / n_channels
         cycles = per_chan / self.config.hbm_bytes_per_cycle_per_channel
         done = cycle
-        for c in range(self.config.hbm_channels):
+        for c in range(n_channels):
             start = max(cycle, self.channel_free[c])
             self.channel_free[c] = start + int(cycles) + 1
             done = max(done, self.channel_free[c])
+            self.bytes_by_channel[c] += n_bytes // n_channels
         self.bytes_by_kind[kind] += n_bytes
         return done
 
     @property
     def total_bytes(self) -> int:
         return sum(self.bytes_by_kind.values())
+
+    def export_metrics(self, registry, prefix: str = "hbm") -> None:
+        """Fold the traffic counters into a metrics registry
+        (``hbm.bytes.<kind>``, ``hbm.chan<i>.bytes``)."""
+        for kind, n in self.bytes_by_kind.items():
+            registry.counter(f"{prefix}.bytes.{kind}").inc(n)
+        registry.counter(f"{prefix}.bytes.total").inc(self.total_bytes)
+        registry.counter(f"{prefix}.channel_wait_cycles").inc(
+            self.channel_wait_cycles
+        )
+        for c, n in enumerate(self.bytes_by_channel):
+            registry.counter(f"{prefix}.chan{c}.bytes").inc(n)
 
     def drain_cycle(self) -> int:
         """Cycle by which all outstanding channel work completes."""

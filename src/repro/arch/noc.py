@@ -22,15 +22,30 @@ from dataclasses import dataclass
 
 @dataclass
 class CrossbarPort:
-    """One endpoint port of the crossbar (busy-until reservation)."""
+    """One endpoint port of the crossbar (busy-until reservation).
+
+    Tracks its own occupancy (``busy_cycles``) and head-of-line waiting
+    (``stall_cycles`` — cycles a transfer sat behind an earlier one), the
+    raw counters behind the ``noc.port.*`` metrics.
+    """
 
     bytes_per_cycle: int
     free_at: int = 0
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    n_transfers: int = 0
 
     def reserve(self, cycle: int, n_bytes: int) -> int:
         """Occupy the port for a transfer; returns the completion cycle."""
         cycles = max(1, -(-n_bytes // self.bytes_per_cycle))
+        return self.reserve_cycles(cycle, cycles)
+
+    def reserve_cycles(self, cycle: int, cycles: int) -> int:
+        """Occupy the port for a known number of cycles."""
         start = max(cycle, self.free_at)
+        self.stall_cycles += start - cycle
+        self.busy_cycles += cycles
+        self.n_transfers += 1
         self.free_at = start + cycles
         return self.free_at
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.noc import CrossbarPort
 from repro.tasks.task import TaskType
 
 
@@ -44,8 +45,10 @@ class PE:
     index: int
     n_slots: int
     array_free: int = 0
-    port_free: int = 0       # read (consume) direction
-    wport_free: int = 0      # write-back direction (ports are full-duplex)
+    # Crossbar endpoint ports (see repro.arch.noc): read (consume)
+    # direction and write-back direction — the ports are full duplex.
+    port: CrossbarPort = field(default_factory=lambda: CrossbarPort(0))
+    wport: CrossbarPort = field(default_factory=lambda: CrossbarPort(0))
     pending: list[PendingTask] = field(default_factory=list)
     busy_by_type: dict[TaskType, int] = field(default_factory=dict)
 
@@ -56,11 +59,17 @@ class PE:
     def slots_free(self) -> int:
         return self.n_slots - len(self.pending)
 
+    @property
+    def port_free(self) -> int:
+        return self.port.free_at
+
+    @property
+    def wport_free(self) -> int:
+        return self.wport.free_at
+
     def reserve_port(self, cycle: int, transfer_cycles: int) -> int:
         """Occupy the PE's read port for one tile; returns finish."""
-        start = max(cycle, self.port_free)
-        self.port_free = start + transfer_cycles
-        return self.port_free
+        return self.port.reserve_cycles(cycle, transfer_cycles)
 
     def reserve_write_port(self, cycle: int, transfer_cycles: int) -> int:
         """Occupy the PE's write-back port for one tile; returns finish.
@@ -68,9 +77,7 @@ class PE:
         The crossbar ports are full duplex: the read direction is sized for
         the systolic consume rate (32 doublewords/cycle) and write-backs
         use the opposite direction, so they do not steal load bandwidth."""
-        start = max(cycle, self.wport_free)
-        self.wport_free = start + transfer_cycles
-        return self.wport_free
+        return self.wport.reserve_cycles(cycle, transfer_cycles)
 
     def add_pending(self, item: PendingTask) -> None:
         if self.slots_free <= 0:

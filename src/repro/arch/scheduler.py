@@ -39,6 +39,10 @@ class SupernodeScheduler:
     _ready_fifo: deque = field(default_factory=deque)
     n_launched: int = 0
     n_completed: int = 0
+    # Ready-queue depth observed at each pop (the raw samples behind the
+    # scheduler.queue_depth histogram metric).
+    queue_depth_samples: list[int] = field(default_factory=list)
+    max_queue_depth: int = 0
 
     def __post_init__(self) -> None:
         self._children_left = [
@@ -68,6 +72,11 @@ class SupernodeScheduler:
         """Yield the next supernode: smallest postorder key (default), or
         arrival order under the "fifo" ablation."""
         self.n_launched += 1
+        depth = len(self._ready_fifo) if self.config.sn_order == "fifo" \
+            else len(self._ready)
+        self.queue_depth_samples.append(depth)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
         if self.config.sn_order == "fifo":
             return self._ready_fifo.popleft()
         return heapq.heappop(self._ready)
@@ -90,3 +99,14 @@ class SupernodeScheduler:
     @property
     def all_done(self) -> bool:
         return self.n_completed == self.tree.n_supernodes
+
+    def export_metrics(self, registry, prefix: str = "scheduler") -> None:
+        """Fold scheduling counters into a metrics registry."""
+        registry.counter(f"{prefix}.launched").inc(self.n_launched)
+        registry.counter(f"{prefix}.completed").inc(self.n_completed)
+        registry.gauge(f"{prefix}.max_queue_depth").set(
+            self.max_queue_depth
+        )
+        hist = registry.histogram(f"{prefix}.queue_depth")
+        for depth in self.queue_depth_samples:
+            hist.observe(depth)

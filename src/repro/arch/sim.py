@@ -18,7 +18,7 @@ fully factored.
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+import logging
 
 import numpy as np
 
@@ -26,12 +26,16 @@ from repro.arch.cache import BankedCache
 from repro.arch.config import SpatulaConfig
 from repro.arch.generator import Generator
 from repro.arch.memory import HBMModel
+from repro.arch.noc import CrossbarPort
 from repro.arch.pe import PE, PendingTask
 from repro.arch.scheduler import SupernodeScheduler
 from repro.arch.stats import SimReport
 from repro.arch.systolic import task_input_tiles, task_latency
+from repro.obs import MetricsRegistry, span
 from repro.tasks.plan import FactorizationPlan
 from repro.tasks.task import TaskType, TileRef
+
+logger = logging.getLogger(__name__)
 
 _A_ENTRY_BYTES = 12  # 8-byte value + 4-byte packed coordinate
 
@@ -46,6 +50,7 @@ class SpatulaSim:
         matrix_name: str = "",
         executor=None,
         trace: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """Args:
             plan: tiled execution plan (see repro.tasks.plan.build_plan).
@@ -57,9 +62,14 @@ class SpatulaSim:
                 with executor.verify()).
             trace: record a per-task execution trace in ``self.trace``
                 (see repro.arch.trace for renderers/exporters).
+            metrics: registry to export component counters into at end of
+                run (a fresh one is created otherwise); the run costs the
+                same either way — components count into plain slots during
+                the run and are folded into the registry exactly once.
         """
         self.plan = plan
         self.config = config or SpatulaConfig.paper()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if self.config.tile != plan.tile:
             raise ValueError(
                 f"plan tiled at T={plan.tile} but config tile is "
@@ -73,8 +83,12 @@ class SpatulaSim:
         self.hbm = HBMModel(cfg)
         self.cache = BankedCache(cfg, self.hbm)
         self.cache.classify_store = self._classify_store
-        self.pes = [PE(index=i, n_slots=cfg.task_slots)
-                    for i in range(cfg.n_pes)]
+        self.pes = [
+            PE(index=i, n_slots=cfg.task_slots,
+               port=CrossbarPort(cfg.pe_port_bytes_per_cycle),
+               wport=CrossbarPort(cfg.pe_port_bytes_per_cycle))
+            for i in range(cfg.n_pes)
+        ]
         self.snsched = SupernodeScheduler(
             tree=plan.symbolic.tree, config=cfg
         )
@@ -104,6 +118,7 @@ class SpatulaSim:
         self._n_tasks_total = 0
         self._sn_started: dict[int, int] = {}
         self._sn_intervals: list[tuple[int, int]] = []
+        self._gen_peak_outstanding: list[int] = []
         self._last_cycle = 0
         # Live-data footprint tracking (Section 5.2's memory argument):
         # active fronts plus update matrices produced but not yet consumed
@@ -220,6 +235,7 @@ class SpatulaSim:
         for child in self.plan.symbolic.tree.supernodes[gen.sn].children:
             self._live_update_bytes -= self._update_bytes(child)
         self._track_peak_footprint()
+        self._gen_peak_outstanding.append(gen.peak_outstanding)
         del self.gens[gen.sn]
         if gen.pe_binding >= 0:
             self._free_pe_bindings.append(gen.pe_binding)
@@ -367,54 +383,94 @@ class SpatulaSim:
 
     def run(self) -> SimReport:
         """Execute the simulation and return the report."""
-        self._pump(0)
-        while self._events:
-            cycle, _seq, kind, payload = heapq.heappop(self._events)
-            self._now = max(self._now, cycle)
-            if kind == "pe_try":
-                self._on_pe_try(payload, cycle)
-            elif kind == "exec_done":
-                self._on_exec_done(payload, cycle)
-            elif kind == "task_final":
-                self._on_task_final(payload, cycle)
-            elif kind == "pump":
-                self._pump(cycle)
-            else:
-                raise AssertionError(f"unknown event kind {kind}")
-        if not self.snsched.all_done:
-            raise AssertionError(
-                "simulation ended with unfinished supernodes "
-                f"({self.snsched.n_completed}/{self.plan.n_supernodes}); "
-                "scheduler deadlock"
-            )
-        end = self.cache.flush_results(self._now, self._is_result_addr)
-        end = max(end, self.hbm.drain_cycle(), self._now)
-        self._last_cycle = int(end)
-        return self._report()
+        logger.debug(
+            "simulating %s: %d supernodes on %d PEs",
+            self.matrix_name or "<unnamed>", self.plan.n_supernodes,
+            self.config.n_pes,
+        )
+        with span("sim.run"):
+            self._pump(0)
+            while self._events:
+                cycle, _seq, kind, payload = heapq.heappop(self._events)
+                self._now = max(self._now, cycle)
+                if kind == "pe_try":
+                    self._on_pe_try(payload, cycle)
+                elif kind == "exec_done":
+                    self._on_exec_done(payload, cycle)
+                elif kind == "task_final":
+                    self._on_task_final(payload, cycle)
+                elif kind == "pump":
+                    self._pump(cycle)
+                else:
+                    raise AssertionError(f"unknown event kind {kind}")
+            if not self.snsched.all_done:
+                raise AssertionError(
+                    "simulation ended with unfinished supernodes "
+                    f"({self.snsched.n_completed}/{self.plan.n_supernodes});"
+                    " scheduler deadlock"
+                )
+            end = self.cache.flush_results(self._now, self._is_result_addr)
+            end = max(end, self.hbm.drain_cycle(), self._now)
+            self._last_cycle = int(end)
+            report = self._report()
+        logger.info("simulated %s", report.summary())
+        return report
 
-    def _report(self) -> SimReport:
+    def _export_metrics(self, registry: MetricsRegistry) -> None:
+        """Fold every component's raw counters into the registry.
+
+        Runs exactly once, at end of run — the hierarchical names here
+        (``sim.*``, ``pe.*``, ``noc.*``, ``cache.*``, ``hbm.*``,
+        ``scheduler.*``, ``generator.*``) are the registry namespace
+        documented in docs/OBSERVABILITY.md.
+        """
+        registry.gauge("sim.cycles").set(self._last_cycle)
+        registry.gauge("sim.n").set(self.plan.symbolic.n)
+        registry.counter("sim.tasks").inc(self._n_tasks_done)
+        registry.counter("sim.supernodes").inc(self.plan.n_supernodes)
+        registry.counter("sim.machine_flops").inc(self._machine_flops)
+        registry.counter("sim.algorithmic_flops").inc(
+            self.plan.symbolic.flops
+        )
+        registry.gauge("sim.peak_live_front_bytes").set(
+            self.peak_live_front_bytes
+        )
+
         busy: dict[TaskType, int] = {t: 0 for t in TaskType}
+        port_stalls = wport_stalls = 0
+        port_busy = wport_busy = 0
         for pe in self.pes:
+            registry.counter(f"pe.{pe.index}.busy_cycles").inc(
+                pe.busy_total
+            )
             for ttype, cycles in pe.busy_by_type.items():
                 busy[ttype] += cycles
-        return SimReport(
+            port_stalls += pe.port.stall_cycles
+            wport_stalls += pe.wport.stall_cycles
+            port_busy += pe.port.busy_cycles
+            wport_busy += pe.wport.busy_cycles
+        for ttype, cycles in busy.items():
+            registry.counter(f"pe.busy_cycles.{ttype.value}").inc(cycles)
+        registry.counter("noc.port.stall_cycles").inc(port_stalls)
+        registry.counter("noc.port.busy_cycles").inc(port_busy)
+        registry.counter("noc.wport.stall_cycles").inc(wport_stalls)
+        registry.counter("noc.wport.busy_cycles").inc(wport_busy)
+
+        self.cache.stats.export_metrics(registry)
+        self.hbm.export_metrics(registry)
+        self.snsched.export_metrics(registry)
+        gen_hist = registry.histogram("generator.peak_outstanding_tasks")
+        for peak in self._gen_peak_outstanding:
+            gen_hist.observe(peak)
+
+    def _report(self) -> SimReport:
+        self._export_metrics(self.metrics)
+        return SimReport.from_registry(
+            self.metrics,
             config=self.config,
             matrix_name=self.matrix_name,
             kind=self.plan.kind,
-            n=self.plan.symbolic.n,
-            cycles=self._last_cycle,
-            algorithmic_flops=self.plan.symbolic.flops,
-            machine_flops=self._machine_flops,
-            n_tasks=self._n_tasks_done,
-            n_supernodes=self.plan.n_supernodes,
-            busy_cycles_by_type=busy,
-            traffic_bytes=dict(self.hbm.bytes_by_kind),
-            cache_hits=self.cache.stats.hits,
-            cache_misses=self.cache.stats.misses,
-            cache_allocations=self.cache.stats.allocations,
             sn_intervals=list(self._sn_intervals),
-            pe_busy_cycles=[pe.busy_total for pe in self.pes],
-            peak_live_front_bytes=self.peak_live_front_bytes,
         )
 
 
@@ -427,6 +483,7 @@ def simulate(
     symbolic=None,
     plan: FactorizationPlan | None = None,
     check_numerics: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> SimReport:
     """Convenience one-call simulation of factoring ``matrix`` on Spatula.
 
@@ -442,6 +499,8 @@ def simulate(
         check_numerics: execute every task's numeric kernel during the
             simulation and assert the computed factor reconstructs the
             matrix (slower; a deep end-to-end check of the scheduler).
+        metrics: registry to collect component counters into (see
+            :class:`SpatulaSim`).
     """
     from repro.symbolic.analyze import symbolic_factorize
     from repro.tasks.plan import build_plan
@@ -459,7 +518,7 @@ def simulate(
 
         executor = TileExecutor(plan, matrix)
     report = SpatulaSim(plan, config, matrix_name=matrix_name,
-                        executor=executor).run()
+                        executor=executor, metrics=metrics).run()
     if executor is not None:
         executor.verify()
     return report

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from repro.arch.cache import BankedCache
 from repro.arch.config import SpatulaConfig
 from repro.arch.memory import HBMModel
+from repro.obs import span
 from repro.tasks.plan import FactorizationPlan
 
 
@@ -154,8 +155,9 @@ class SolveSim:
         return makespan, hbm.total_bytes
 
     def run(self) -> SolveReport:
-        forward, bytes_fwd = self._sweep(topdown=False)
-        backward, bytes_bwd = self._sweep(topdown=True)
+        with span("sim.solve"):
+            forward, bytes_fwd = self._sweep(topdown=False)
+            backward, bytes_bwd = self._sweep(topdown=True)
         return SolveReport(
             config=self.config,
             forward_cycles=forward,

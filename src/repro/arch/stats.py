@@ -9,11 +9,15 @@ traffic by category and average bandwidth (Figure 17), the power breakdown
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.arch.config import SpatulaConfig
 from repro.tasks.task import TaskType
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -37,6 +41,63 @@ class SimReport:
     sn_intervals: list[tuple[int, int]] = field(default_factory=list)
     pe_busy_cycles: list[int] = field(default_factory=list)
     peak_live_front_bytes: int = 0
+    # The full metrics registry the report was built from (see
+    # from_registry); carries every component counter beyond the typed
+    # headline fields above.
+    metrics: "MetricsRegistry | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- construction from the metrics registry --------------------------------
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: "MetricsRegistry",
+        config: SpatulaConfig,
+        matrix_name: str,
+        kind: str,
+        sn_intervals: list[tuple[int, int]] | None = None,
+    ) -> "SimReport":
+        """Build a report from an instrumented simulation's registry.
+
+        The registry is the source of truth (the simulator exports every
+        component's counters into it under hierarchical names); this
+        constructor projects the headline fields out of it instead of
+        hand-assembling them from component internals.
+        """
+        value = registry.value
+        busy = {
+            t: int(value(f"pe.busy_cycles.{t.value}")) for t in TaskType
+        }
+        traffic = {
+            name[len("hbm.bytes."):]: int(registry.value(name))
+            for name in registry.names("hbm.bytes")
+            if name != "hbm.bytes.total"
+        }
+        pe_busy = [
+            int(value(f"pe.{i}.busy_cycles")) for i in range(config.n_pes)
+        ]
+        return cls(
+            config=config,
+            matrix_name=matrix_name,
+            kind=kind,
+            n=int(value("sim.n")),
+            cycles=int(value("sim.cycles")),
+            algorithmic_flops=int(value("sim.algorithmic_flops")),
+            machine_flops=int(value("sim.machine_flops")),
+            n_tasks=int(value("sim.tasks")),
+            n_supernodes=int(value("sim.supernodes")),
+            busy_cycles_by_type=busy,
+            traffic_bytes=traffic,
+            cache_hits=int(value("cache.hits")),
+            cache_misses=int(value("cache.misses")),
+            cache_allocations=int(value("cache.allocations")),
+            sn_intervals=list(sn_intervals or []),
+            pe_busy_cycles=pe_busy,
+            peak_live_front_bytes=int(value("sim.peak_live_front_bytes")),
+            metrics=registry,
+        )
 
     # -- headline numbers ------------------------------------------------------
 
@@ -95,6 +156,10 @@ class SimReport:
             if end > start:
                 events.append((start, +1))
                 events.append((end, -1))
+        if not events:
+            # Every interval was zero-length (degenerate but possible for
+            # all-empty supernodes): same fallback as an empty trace.
+            return np.array([0]), np.array([1.0])
         events.sort()
         time_at_level: dict[int, int] = {}
         level = 0
@@ -130,6 +195,34 @@ class SimReport:
         if mean == 0:
             return 1.0
         return max(self.pe_busy_cycles) / mean
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Headline numbers + breakdowns as a JSON-ready dict (the
+        ``report`` section of a :class:`repro.obs.RunArtifact`)."""
+        return {
+            "matrix": self.matrix_name,
+            "kind": self.kind,
+            "n": self.n,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "achieved_tflops": self.achieved_tflops,
+            "utilization": self.utilization,
+            "algorithmic_flops": self.algorithmic_flops,
+            "machine_flops": self.machine_flops,
+            "n_tasks": self.n_tasks,
+            "n_supernodes": self.n_supernodes,
+            "total_dram_bytes": self.total_dram_bytes,
+            "avg_bandwidth_gbs": self.avg_bandwidth_gbs,
+            "load_imbalance": self.load_imbalance(),
+            "mean_concurrency": self.mean_concurrency(),
+            "peak_live_front_bytes": self.peak_live_front_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cycle_breakdown": self.cycle_breakdown(),
+            "traffic_bytes": dict(self.traffic_bytes),
+        }
 
     # -- summary ---------------------------------------------------------------
 

@@ -95,11 +95,22 @@ def utilization_timeline(events: list[TraceEvent], n_pes: int,
 
 
 def export_chrome_trace(events: list[TraceEvent], path: str | Path,
-                        freq_ghz: float = 1.0) -> None:
+                        freq_ghz: float = 1.0, spans=None) -> None:
     """Write the trace in Chrome trace-event JSON format.
 
-    Each PE becomes a "thread"; durations are reported in microseconds of
-    simulated time (cycles / frequency).
+    Each PE becomes a "thread" of process 0; durations are reported in
+    microseconds of simulated time (cycles / frequency).
+
+    Args:
+        events: PE task events recorded by ``SpatulaSim(..., trace=True)``.
+        path: output file (open in chrome://tracing or Perfetto).
+        freq_ghz: clock frequency used for the cycles -> us conversion.
+        spans: optional host-side pipeline spans
+            (:class:`repro.obs.Span` objects or their dicts); they are
+            emitted as process 1 ("host pipeline") in wall-clock
+            microseconds rebased so the earliest span starts at 0, letting
+            one Perfetto view hold host phases next to simulated cycles.
+            (The two processes share a timeline but not a time base.)
     """
     records = []
     for e in events:
@@ -113,6 +124,28 @@ def export_chrome_trace(events: list[TraceEvent], path: str | Path,
             "tid": e.pe,
             "args": {"supernode": e.sn, "task": e.task_index},
         })
+    span_dicts = [s if isinstance(s, dict) else s.to_dict()
+                  for s in (spans or [])]
+    if span_dicts:
+        records.append({"name": "process_name", "ph": "M", "pid": 0,
+                        "args": {"name": "Spatula PEs (simulated time)"}})
+        records.append({"name": "process_name", "ph": "M", "pid": 1,
+                        "args": {"name": "host pipeline (wall clock)"}})
+        t0 = min(s["start_s"] for s in span_dicts)
+        for s in span_dicts:
+            args = {"parent": s.get("parent")}
+            if s.get("peak_mem_bytes") is not None:
+                args["peak_mem_bytes"] = s["peak_mem_bytes"]
+            records.append({
+                "name": s["name"],
+                "cat": "host",
+                "ph": "X",
+                "ts": (s["start_s"] - t0) * 1e6,      # seconds -> us
+                "dur": max(s["duration_s"] * 1e6, 0.001),
+                "pid": 1,
+                "tid": s.get("depth", 0),
+                "args": args,
+            })
     payload = {
         "traceEvents": records,
         "displayTimeUnit": "ns",

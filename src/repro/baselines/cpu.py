@@ -24,6 +24,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.baselines.roofline import DenseRoofline, cpu_core_roofline
+from repro.obs import span
 from repro.symbolic.analyze import SymbolicFactorization
 from repro.tasks.flops import supernode_factor_flops
 
@@ -91,6 +92,10 @@ class CPUModel:
         return seconds, cores
 
     def run(self, symbolic: SymbolicFactorization) -> CPUResult:
+        with span(f"baseline.cpu.{self.spec.name}"):
+            return self._run(symbolic)
+
+    def _run(self, symbolic: SymbolicFactorization) -> CPUResult:
         symmetric = symbolic.kind == "cholesky"
         tree = symbolic.tree
         spec = self.spec

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.roofline import DenseRoofline, gpu_dense_roofline
+from repro.obs import span
 from repro.symbolic.analyze import SymbolicFactorization
 from repro.symbolic.etree import NO_PARENT
 from repro.tasks.flops import supernode_factor_flops
@@ -116,6 +117,10 @@ class GPUModel:
         return seconds, sms
 
     def run(self, symbolic: SymbolicFactorization) -> GPUResult:
+        with span(f"baseline.gpu.{self.spec.name}"):
+            return self._run(symbolic)
+
+    def _run(self, symbolic: SymbolicFactorization) -> GPUResult:
         symmetric = symbolic.kind == "cholesky"
         supernodes = symbolic.tree.supernodes
         compute = 0.0

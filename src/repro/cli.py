@@ -6,8 +6,14 @@ Commands:
 * ``info``     — matrix statistics + symbolic-factorization summary;
 * ``solve``    — factor and solve A x = b, report the residual;
 * ``simulate`` — run the Spatula cycle-level simulator and print the
-  report (optionally an ASCII Gantt chart and a Chrome trace JSON);
-* ``compare``  — Spatula vs the GPU/CPU baseline models on one matrix.
+  report (optionally an ASCII Gantt chart, a Chrome trace JSON, and a
+  ``--metrics`` run-artifact JSON with spans + component counters);
+* ``compare``  — Spatula vs the GPU/CPU baseline models on one matrix;
+* ``report``   — pretty-print a run artifact, or ``--diff`` two artifacts
+  and exit non-zero when a watched metric regresses past ``--threshold``.
+
+Global flags (before the command): ``-v``/``-vv`` or ``--log-level`` turn
+on stdlib logging from the whole stack.
 
 Matrices are named either ``suite:NAME[@SCALE]`` (e.g. ``suite:Serena``,
 ``suite:FullChip@0.5``) or a MatrixMarket file path.
@@ -16,6 +22,7 @@ Matrices are named either ``suite:NAME[@SCALE]`` (e.g. ``suite:Serena``,
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
@@ -24,11 +31,25 @@ from repro.arch.config import SpatulaConfig
 from repro.arch.sim import SpatulaSim
 from repro.baselines import CPUModel, GPUModel
 from repro.numeric.solver import SparseSolver
+from repro.obs import (
+    MetricsRegistry,
+    RunArtifact,
+    diff_artifacts,
+    disable_tracing,
+    enable_tracing,
+    render_artifact,
+    render_diff,
+    setup_logging,
+    span,
+    verbosity_to_level,
+)
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.io import read_matrix_market
 from repro.sparse.suite import cholesky_suite, get_matrix, get_spec, lu_suite
 from repro.symbolic.analyze import symbolic_factorize
 from repro.tasks.plan import build_plan
+
+logger = logging.getLogger(__name__)
 
 
 def load_matrix(spec: str) -> tuple[CSCMatrix, str, str]:
@@ -101,43 +122,81 @@ def cmd_solve(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    matrix, kind, ordering = load_matrix(args.matrix)
-    kind = args.kind or kind
-    config = _config_from_args(args)
-    symbolic = symbolic_factorize(matrix, kind=kind, ordering=ordering,
-                                  relax_small=32, relax_ratio=0.5,
-                                  force_small=64)
-    plan = build_plan(symbolic, tile=config.tile,
-                      supertile=config.supertile)
-    executor = None
-    if args.check:
-        from repro.arch.functional import TileExecutor
+    tracer = None
+    if args.metrics:
+        # Spans for every pipeline phase land in the run artifact.
+        tracer = enable_tracing(trace_memory=args.trace_memory)
+        tracer.reset()
+    try:
+        with span("pipeline.load_matrix"):
+            matrix, kind, ordering = load_matrix(args.matrix)
+        kind = args.kind or kind
+        config = _config_from_args(args)
+        symbolic = symbolic_factorize(matrix, kind=kind, ordering=ordering,
+                                      relax_small=32, relax_ratio=0.5,
+                                      force_small=64)
+        plan = build_plan(symbolic, tile=config.tile,
+                          supertile=config.supertile)
+        executor = None
+        if args.check:
+            from repro.arch.functional import TileExecutor
 
-        executor = TileExecutor(plan, matrix)
-    sim = SpatulaSim(plan, config, matrix_name=args.matrix,
-                     executor=executor, trace=bool(args.gantt or args.trace))
-    report = sim.run()
-    print(report.summary())
-    bd = report.cycle_breakdown()
-    print("cycles: " + ", ".join(f"{k} {100 * v:.1f}%"
-                                 for k, v in bd.items() if v > 0.001))
-    print("traffic: " + ", ".join(
-        f"{k} {v / 1e6:.2f} MB" for k, v in report.traffic_bytes.items()))
-    print(f"load imbalance {report.load_imbalance():.2f}, "
-          f"peak live footprint "
-          f"{report.peak_live_front_bytes / 1024:.0f} KB")
-    if executor is not None:
-        err = executor.verify()
-        print(f"numeric check passed (max reconstruction error {err:.2e})")
-    if args.gantt:
-        from repro.arch.trace import render_gantt
+            executor = TileExecutor(plan, matrix)
+        registry = MetricsRegistry() if args.metrics else None
+        sim = SpatulaSim(plan, config, matrix_name=args.matrix,
+                         executor=executor,
+                         trace=bool(args.gantt or args.trace),
+                         metrics=registry)
+        report = sim.run()
+        print(report.summary())
+        bd = report.cycle_breakdown()
+        print("cycles: " + ", ".join(f"{k} {100 * v:.1f}%"
+                                     for k, v in bd.items() if v > 0.001))
+        print("traffic: " + ", ".join(
+            f"{k} {v / 1e6:.2f} MB"
+            for k, v in report.traffic_bytes.items()))
+        print(f"load imbalance {report.load_imbalance():.2f}, "
+              f"peak live footprint "
+              f"{report.peak_live_front_bytes / 1024:.0f} KB")
+        if executor is not None:
+            err = executor.verify()
+            print("numeric check passed "
+                  f"(max reconstruction error {err:.2e})")
+        if args.gantt:
+            from repro.arch.trace import render_gantt
 
-        print(render_gantt(sim.trace, config.n_pes))
-    if args.trace:
-        from repro.arch.trace import export_chrome_trace
+            print(render_gantt(sim.trace, config.n_pes))
+        if args.trace:
+            from repro.arch.trace import export_chrome_trace
 
-        export_chrome_trace(sim.trace, args.trace, config.freq_ghz)
-        print(f"wrote Chrome trace to {args.trace}")
+            export_chrome_trace(sim.trace, args.trace, config.freq_ghz,
+                                spans=tracer.spans if tracer else None)
+            print(f"wrote Chrome trace to {args.trace}")
+        if args.metrics:
+            artifact = RunArtifact.from_run(report, tracer=tracer)
+            artifact.save(args.metrics)
+            print(f"wrote run artifact to {args.metrics} "
+                  f"({len(tracer.spans)} spans, "
+                  f"{len(report.metrics)} metrics)")
+        return 0
+    finally:
+        if tracer is not None:
+            disable_tracing()
+
+
+def cmd_report(args) -> int:
+    if args.diff:
+        if len(args.files) != 2:
+            raise ValueError("--diff needs exactly two artifact files")
+        baseline = RunArtifact.load(args.files[0])
+        new = RunArtifact.load(args.files[1])
+        result = diff_artifacts(baseline, new, threshold=args.threshold)
+        print(f"{baseline.matrix} [{baseline.kind}]: "
+              f"{args.files[0]} -> {args.files[1]}")
+        print(render_diff(result, show_unchanged=args.all))
+        return 1 if result.has_regression else 0
+    for path in args.files:
+        print(render_artifact(RunArtifact.load(path)))
     return 0
 
 
@@ -170,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Spatula (MICRO 2023) reproduction toolkit",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="increase log verbosity (-v info, -vv debug)")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="explicit log level (overrides -v)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("suite", help="list evaluation matrices")
@@ -208,10 +272,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an ASCII Gantt chart")
     p_sim.add_argument("--trace", metavar="FILE", default=None,
                        help="write a Chrome trace JSON")
+    p_sim.add_argument("--metrics", metavar="FILE", default=None,
+                       help="write a run-artifact JSON (config + report + "
+                            "metrics registry + pipeline spans)")
+    p_sim.add_argument("--trace-memory", action="store_true",
+                       help="capture tracemalloc peak memory per span "
+                            "(implies --metrics overhead)")
 
     p_cmp = sub.add_parser("compare", help="Spatula vs GPU/CPU baselines")
     add_matrix_arg(p_cmp)
     add_config_args(p_cmp)
+
+    p_rep = sub.add_parser(
+        "report", help="pretty-print or diff run artifacts"
+    )
+    p_rep.add_argument("files", nargs="+",
+                       help="artifact JSON file(s) from simulate --metrics")
+    p_rep.add_argument("--diff", action="store_true",
+                       help="compare two artifacts (baseline, new); exits "
+                            "non-zero if a watched metric regresses")
+    p_rep.add_argument("--threshold", type=float, default=0.05,
+                       help="relative regression threshold (default 0.05)")
+    p_rep.add_argument("--all", action="store_true",
+                       help="with --diff, also show unchanged metrics")
     return parser
 
 
@@ -221,11 +304,14 @@ _COMMANDS = {
     "solve": cmd_solve,
     "simulate": cmd_simulate,
     "compare": cmd_compare,
+    "report": cmd_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level if args.log_level is not None
+                  else verbosity_to_level(args.verbose))
     try:
         return _COMMANDS[args.command](args)
     except (FileNotFoundError, KeyError, ValueError) as exc:

@@ -9,12 +9,15 @@ physics-timestepping usage pattern that motivates the paper.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.numeric.cholesky import CholeskyFactor, multifrontal_cholesky
 from repro.numeric.lu import LUFactors, multifrontal_lu
 from repro.numeric.refinement import RefinementResult, iterative_refinement
 from repro.numeric.supernodal_solve import cholesky_solve, lu_solve
+from repro.obs import span
 from repro.numeric.triangular import (
     solve_lower_csc,
     solve_upper_csc,
@@ -23,6 +26,8 @@ from repro.numeric.triangular import (
 from repro.ordering.pivoting import apply_static_pivoting
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
+
+logger = logging.getLogger(__name__)
 
 
 class SparseSolver:
@@ -76,13 +81,17 @@ class SparseSolver:
 
     def factorize(self) -> None:
         """(Re)run the numeric factorization for the current values."""
-        if self.kind == "cholesky":
-            self._chol = multifrontal_cholesky(self._matrix, self.symbolic)
-            self._lower = self._chol.to_csc()
-            self._upper = None
-        else:
-            self._lu = multifrontal_lu(self._matrix, self.symbolic)
-            self._lower, self._upper = self._lu.to_csc()
+        with span("numeric.factorize"):
+            if self.kind == "cholesky":
+                self._chol = multifrontal_cholesky(self._matrix,
+                                                   self.symbolic)
+                self._lower = self._chol.to_csc()
+                self._upper = None
+            else:
+                self._lu = multifrontal_lu(self._matrix, self.symbolic)
+                self._lower, self._upper = self._lu.to_csc()
+        logger.info("numeric %s factorization: factor nnz %d",
+                    self.kind, self.factor_nnz)
 
     def refactorize(self, matrix: CSCMatrix) -> None:
         """Refactor with new values on the same nonzero pattern.
@@ -139,21 +148,23 @@ class SparseSolver:
         if b.ndim != 1:
             raise ValueError("b must be a vector or an (n, k) array")
         perm = self.symbolic.perm
-        if self.kind == "cholesky":
-            pb = b[perm]
-            if method == "supernodal":
-                px = cholesky_solve(self._chol, pb)
+        with span("numeric.solve"):
+            if self.kind == "cholesky":
+                pb = b[perm]
+                if method == "supernodal":
+                    px = cholesky_solve(self._chol, pb)
+                else:
+                    y = solve_lower_csc(self._lower, pb)
+                    px = solve_upper_csc(self._lower, y)
             else:
-                y = solve_lower_csc(self._lower, pb)
-                px = solve_upper_csc(self._lower, y)
-        else:
-            # A_work = P_row A; system P_row A x = P_row b.
-            pb = b[self._row_perm][perm]
-            if method == "supernodal":
-                px = lu_solve(self._lu, pb)
-            else:
-                y = solve_lower_csc(self._lower, pb, unit_diagonal=True)
-                px = solve_upper_csc_direct(self._upper, y)
+                # A_work = P_row A; system P_row A x = P_row b.
+                pb = b[self._row_perm][perm]
+                if method == "supernodal":
+                    px = lu_solve(self._lu, pb)
+                else:
+                    y = solve_lower_csc(self._lower, pb,
+                                        unit_diagonal=True)
+                    px = solve_upper_csc_direct(self._upper, y)
         # Undo the fill-reducing (symmetric) permutation: px solves the
         # permuted system, so x[perm[i]] = px[i].
         x = np.empty(len(px))

@@ -1,0 +1,63 @@
+"""repro.obs — the unified instrumentation layer.
+
+Dependency-free observability primitives used across the whole stack:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and log-scale histograms keyed by hierarchical name
+  (``sim.cache.hits``, ``noc.port.stall_cycles``, ``hbm.chan3.bytes``);
+* :mod:`repro.obs.spans` — a span tracer (``with span("symbolic.etree")``)
+  with wall-clock and optional :mod:`tracemalloc` peak-memory capture,
+  threaded through ordering → symbolic → planning → simulation → solve →
+  baselines;
+* :mod:`repro.obs.artifact` — versioned JSON run artifacts
+  (config + report + metrics + spans) with diffing and a regression gate
+  (``repro report --diff``);
+* :mod:`repro.obs.log` — stdlib-logging setup behind the CLI's
+  ``-v`` / ``--log-level`` flags.
+
+See ``docs/OBSERVABILITY.md`` for the full guide.
+"""
+
+from repro.obs.artifact import (
+    SCHEMA_VERSION,
+    WATCHED_METRICS,
+    DiffResult,
+    MetricDelta,
+    RunArtifact,
+    diff_artifacts,
+    render_artifact,
+    render_diff,
+)
+from repro.obs.log import setup_logging, verbosity_to_level
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "RunArtifact",
+    "MetricDelta",
+    "DiffResult",
+    "diff_artifacts",
+    "render_artifact",
+    "render_diff",
+    "SCHEMA_VERSION",
+    "WATCHED_METRICS",
+    "setup_logging",
+    "verbosity_to_level",
+]

@@ -1,0 +1,263 @@
+"""Structured run artifacts: config + report + metrics + spans as JSON.
+
+A :class:`RunArtifact` is the machine-readable record of one pipeline run
+— the thing you commit next to a benchmark result, diff across PRs, and
+gate regressions on.  The JSON schema is versioned (``schema_version``);
+:func:`RunArtifact.load` refuses artifacts written by an incompatible
+schema rather than mis-reading them.
+
+Diffing: :func:`diff_artifacts` compares the flattened metric spaces of
+two artifacts and flags *watched* metrics (``WATCHED_METRICS``, each with
+an improvement direction) that moved in the bad direction by more than a
+relative threshold.  The CLI's ``repro report --diff`` exits non-zero when
+any watched metric regresses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: Metrics the diff gate watches, with the direction that is *better*.
+WATCHED_METRICS: dict[str, str] = {
+    "report.cycles": "lower",
+    "report.achieved_tflops": "higher",
+    "report.utilization": "higher",
+    "report.total_dram_bytes": "lower",
+    "report.load_imbalance": "lower",
+    "cache.hit_rate": "higher",
+    "cache.misses": "lower",
+    "cache.mshr_stall_cycles": "lower",
+    "noc.port.stall_cycles": "lower",
+}
+
+
+@dataclass
+class RunArtifact:
+    """One run's full observability record."""
+
+    matrix: str
+    kind: str
+    n: int
+    config: dict
+    report: dict
+    metrics: dict = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+    created_at: str = ""
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_run(cls, report, registry=None, tracer=None,
+                 matrix: str | None = None) -> "RunArtifact":
+        """Build an artifact from a :class:`~repro.arch.stats.SimReport`.
+
+        Args:
+            report: the simulation report.
+            registry: metrics registry; defaults to ``report.metrics``.
+            tracer: span tracer whose spans to embed (optional).
+            matrix: label override (defaults to ``report.matrix_name``).
+        """
+        registry = registry if registry is not None else report.metrics
+        return cls(
+            matrix=matrix if matrix is not None else report.matrix_name,
+            kind=report.kind,
+            n=report.n,
+            config=asdict(report.config),
+            report=report.to_dict(),
+            metrics=registry.snapshot() if registry is not None else {},
+            spans=[s.to_dict() for s in tracer.spans] if tracer else [],
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "matrix": self.matrix,
+            "kind": self.kind,
+            "n": self.n,
+            "config": self.config,
+            "report": self.report,
+            "metrics": self.metrics,
+            "spans": self.spans,
+        }
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=1)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunArtifact":
+        with open(path) as f:
+            data = json.load(f)
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: artifact schema_version {version!r} is not "
+                f"supported (expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            matrix=data["matrix"], kind=data["kind"], n=data["n"],
+            config=data["config"], report=data["report"],
+            metrics=data.get("metrics", {}), spans=data.get("spans", []),
+            schema_version=version, created_at=data.get("created_at", ""),
+        )
+
+    # -- flattened metric space ---------------------------------------------
+
+    def flat_metrics(self) -> dict[str, float]:
+        """Scalar view over report headlines + registry metrics."""
+        flat: dict[str, float] = {}
+        for key, value in self.report.items():
+            if isinstance(value, (int, float)):
+                flat[f"report.{key}"] = float(value)
+        for name, value in self.metrics.items():
+            if isinstance(value, dict):  # histogram summary
+                flat[f"{name}.count"] = float(value.get("count", 0))
+                flat[f"{name}.mean"] = float(value.get("mean", 0.0))
+                flat[f"{name}.max"] = float(value.get("max", 0.0))
+            else:
+                flat[name] = float(value)
+        return flat
+
+
+# -- pretty printing ---------------------------------------------------------
+
+
+def render_artifact(artifact: RunArtifact) -> str:
+    """Human-readable summary of one artifact."""
+    lines = [
+        f"{artifact.matrix} [{artifact.kind}] n={artifact.n} "
+        f"(schema v{artifact.schema_version}, {artifact.created_at})",
+        "-- report " + "-" * 45,
+    ]
+    for key, value in sorted(artifact.report.items()):
+        if isinstance(value, float):
+            lines.append(f"  {key:<32}{value:>18.6g}")
+        elif isinstance(value, int):
+            lines.append(f"  {key:<32}{value:>18}")
+    if artifact.spans:
+        lines.append("-- spans " + "-" * 46)
+        for s in sorted(artifact.spans, key=lambda d: d["start_s"]):
+            mem = s.get("peak_mem_bytes")
+            mem_s = f"  peak {mem / 1e6:.1f} MB" if mem is not None else ""
+            lines.append(
+                f"  {'  ' * s.get('depth', 0)}{s['name']:<30}"
+                f"{1e3 * s['duration_s']:>10.2f} ms{mem_s}"
+            )
+    if artifact.metrics:
+        lines.append("-- metrics " + "-" * 44)
+        for name, value in sorted(artifact.metrics.items()):
+            if isinstance(value, dict):
+                lines.append(
+                    f"  {name:<32} count={value.get('count', 0)} "
+                    f"mean={value.get('mean', 0.0):.3g} "
+                    f"max={value.get('max', 0.0):.3g}"
+                )
+            else:
+                lines.append(f"  {name:<32}{value:>18.6g}")
+    return "\n".join(lines)
+
+
+# -- diffing ------------------------------------------------------------------
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared across two artifacts."""
+
+    name: str
+    before: float
+    after: float
+    watched: bool
+    direction: str | None      # "lower" | "higher" | None
+    regressed: bool
+
+    @property
+    def rel_change(self) -> float:
+        denom = abs(self.before)
+        if denom == 0.0:
+            return 0.0 if self.after == self.before else float("inf")
+        return (self.after - self.before) / denom
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing two artifacts."""
+
+    deltas: list[MetricDelta]
+    threshold: float
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(self.regressions)
+
+
+def diff_artifacts(a: RunArtifact, b: RunArtifact,
+                   threshold: float = 0.05) -> DiffResult:
+    """Compare artifact ``b`` (new) against ``a`` (baseline).
+
+    A *watched* metric regresses when it moves in its bad direction by
+    more than ``threshold`` relative to the baseline value.
+    """
+    fa, fb = a.flat_metrics(), b.flat_metrics()
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(fa) & set(fb)):
+        before, after = fa[name], fb[name]
+        direction = WATCHED_METRICS.get(name)
+        regressed = False
+        if direction is not None and before != after:
+            denom = abs(before)
+            rel = ((after - before) / denom) if denom else float("inf")
+            bad = rel if direction == "lower" else -rel
+            regressed = bad > threshold
+        deltas.append(MetricDelta(
+            name=name, before=before, after=after,
+            watched=direction is not None, direction=direction,
+            regressed=regressed,
+        ))
+    return DiffResult(deltas=deltas, threshold=threshold)
+
+
+def render_diff(result: DiffResult, show_unchanged: bool = False) -> str:
+    """Table of metric deltas; regressions are marked ``<< REGRESSION``."""
+    lines = [
+        f"{'metric':<36}{'baseline':>14}{'new':>14}{'change':>10}",
+        "-" * 74,
+    ]
+    for d in result.deltas:
+        if d.before == d.after and not show_unchanged:
+            continue
+        change = d.rel_change
+        change_s = "   inf" if change == float("inf") \
+            else f"{100 * change:>+8.1f}%"
+        mark = ""
+        if d.regressed:
+            mark = "  << REGRESSION"
+        elif d.watched:
+            mark = "  (watched)"
+        lines.append(
+            f"{d.name:<36}{d.before:>14.6g}{d.after:>14.6g}"
+            f"{change_s:>10}{mark}"
+        )
+    n_reg = len(result.regressions)
+    lines.append("-" * 74)
+    lines.append(
+        f"{n_reg} watched metric(s) regressed beyond "
+        f"{100 * result.threshold:.0f}%"
+        if n_reg else
+        f"no watched metric regressed beyond {100 * result.threshold:.0f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Span-based pipeline tracing (wall-clock + optional peak memory).
+
+Usage::
+
+    from repro.obs import enable_tracing, get_tracer, span
+
+    enable_tracing(trace_memory=True)
+    with span("symbolic.factorize"):
+        ...
+    for s in get_tracer().spans:
+        print(s.name, s.duration_s)
+
+The global tracer is *disabled* by default and ``span()`` then costs one
+dict-free function call returning a shared no-op context manager, so
+library code can be instrumented unconditionally.  Spans nest; each span
+records its depth and parent name so exporters can rebuild the hierarchy.
+
+With ``trace_memory=True`` the tracer also samples :mod:`tracemalloc` and
+records the peak traced allocation observed while the span was open (the
+peak is reset as each span starts, so with *nested* spans an outer span
+reports the peak since its most recent child closed; top-level phase
+spans — the intended granularity — report true per-phase peaks).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class Span:
+    """One completed pipeline phase."""
+
+    name: str
+    start_s: float          # perf_counter timestamp at entry
+    duration_s: float
+    depth: int = 0
+    parent: str | None = None
+    peak_mem_bytes: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "peak_mem_bytes": self.peak_mem_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=d["name"], start_s=d["start_s"],
+            duration_s=d["duration_s"], depth=d.get("depth", 0),
+            parent=d.get("parent"),
+            peak_mem_bytes=d.get("peak_mem_bytes"),
+        )
+
+
+class _NullContext:
+    """Reusable no-op context manager (zero-allocation disabled path)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Collects :class:`Span` records from ``span(...)`` blocks."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.trace_memory = False
+        self.spans: list[Span] = []
+        self._stack: list[str] = []
+        self._started_tracemalloc = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self, trace_memory: bool = False) -> None:
+        self.enabled = True
+        self.trace_memory = trace_memory
+        if trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+    def reset(self) -> None:
+        self.spans = []
+        self._stack = []
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str):
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self._record(name)
+
+    @contextmanager
+    def _record(self, name: str):
+        parent = self._stack[-1] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(name)
+        sample_mem = self.trace_memory and tracemalloc.is_tracing()
+        if sample_mem:
+            tracemalloc.reset_peak()
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            peak = (tracemalloc.get_traced_memory()[1]
+                    if sample_mem else None)
+            self._stack.pop()
+            self.spans.append(Span(
+                name=name, start_s=start, duration_s=duration,
+                depth=depth, parent=parent, peak_mem_bytes=peak,
+            ))
+
+    # -- queries ------------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        return sum(s.duration_s for s in self.find(name))
+
+    def export(self) -> list[dict]:
+        """Spans as JSON-ready dicts, in completion order."""
+        return [s.to_dict() for s in self.spans]
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer used by :func:`span`."""
+    return _TRACER
+
+
+def enable_tracing(trace_memory: bool = False) -> Tracer:
+    """Enable the global tracer (idempotent); returns it."""
+    _TRACER.enable(trace_memory=trace_memory)
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+
+
+def span(name: str):
+    """Context manager timing one pipeline phase on the global tracer.
+
+    No-op (and allocation-free) while tracing is disabled.
+    """
+    return _TRACER.span(name)

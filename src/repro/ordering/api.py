@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import span
 from repro.ordering.dissection import nested_dissection
 from repro.ordering.mindeg import minimum_degree
 from repro.ordering.rcm import rcm
@@ -25,10 +26,11 @@ def fill_reducing_ordering(
     """
     if method not in _METHODS:
         raise ValueError(f"unknown ordering {method!r}; choose from {_METHODS}")
-    if method == "amd":
-        return minimum_degree(matrix)
-    if method == "nd":
-        return nested_dissection(matrix)
-    if method == "rcm":
-        return rcm(matrix)
-    return np.arange(matrix.n_rows, dtype=np.int64)
+    with span(f"ordering.{method}"):
+        if method == "amd":
+            return minimum_degree(matrix)
+        if method == "nd":
+            return nested_dissection(matrix)
+        if method == "rcm":
+            return rcm(matrix)
+        return np.arange(matrix.n_rows, dtype=np.int64)

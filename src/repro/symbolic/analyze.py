@@ -9,10 +9,12 @@ nonzero pattern and amortized over many numeric factorizations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import span
 from repro.ordering.api import fill_reducing_ordering
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.assembly import AssemblyTree, build_assembly_tree
@@ -23,6 +25,8 @@ from repro.symbolic.structure import (
     lu_flops_from_counts,
 )
 from repro.symbolic.supernodes import find_supernodes
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -115,25 +119,33 @@ def symbolic_factorize(
     # permutation into the ordering: afterwards each supernode's columns
     # are contiguous and every parent immediately follows its last child,
     # which both the supernode detector and the amalgamation rely on.
-    parent = elimination_tree(analysis_pattern(permuted))
-    post = postorder(parent)
-    if not np.array_equal(post, np.arange(len(post))):
-        perm = perm[post]
-        permuted = matrix.permuted(perm)
+    with span("symbolic.etree"):
         parent = elimination_tree(analysis_pattern(permuted))
-    pattern = analysis_pattern(permuted)
-    structs = column_structures(pattern, parent)
-    counts = np.array([len(s) for s in structs], dtype=np.int64)
-    supernodes = find_supernodes(
-        parent, structs, relax_small=relax_small, relax_ratio=relax_ratio,
-        force_small=force_small,
-    )
-    tree = build_assembly_tree(matrix.n_rows, supernodes)
+        post = postorder(parent)
+        if not np.array_equal(post, np.arange(len(post))):
+            perm = perm[post]
+            permuted = matrix.permuted(perm)
+            parent = elimination_tree(analysis_pattern(permuted))
+    with span("symbolic.structure"):
+        pattern = analysis_pattern(permuted)
+        structs = column_structures(pattern, parent)
+        counts = np.array([len(s) for s in structs], dtype=np.int64)
+    with span("symbolic.supernodes"):
+        supernodes = find_supernodes(
+            parent, structs, relax_small=relax_small,
+            relax_ratio=relax_ratio, force_small=force_small,
+        )
+        tree = build_assembly_tree(matrix.n_rows, supernodes)
 
     if kind == "cholesky":
         flops = cholesky_flops_from_counts(counts)
     else:
         flops = lu_flops_from_counts(counts)
+    logger.info(
+        "symbolic [%s, %s]: n=%d, %d supernodes, nnz(L)=%d, %.3g GFLOP",
+        kind, ordering, matrix.n_rows, tree.n_supernodes,
+        int(counts.sum()), flops / 1e9,
+    )
     return SymbolicFactorization(
         kind=kind,
         perm=perm,

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sparse.csc import CSCMatrix
-from repro.symbolic.etree import NO_PARENT, etree_children
+from repro.symbolic.etree import etree_children
 
 
 def column_structures(

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 
 def tile_index(front_size: int, tile: int) -> int:

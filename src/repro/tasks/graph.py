@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.symbolic.tiling import TileGrid
 from repro.tasks import flops as F

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import span
 from repro.symbolic.analyze import SymbolicFactorization
 from repro.symbolic.tiling import TileGrid
 from repro.tasks.graph import GatherInputs, SupernodeTaskGraph, build_task_graph
@@ -82,6 +83,12 @@ def build_plan(
     """
     from repro.tasks.flops import supernode_factor_flops
 
+    with span("plan.build"):
+        return _build_plan(symbolic, tile, supertile,
+                           supernode_factor_flops)
+
+
+def _build_plan(symbolic, tile, supertile, supernode_factor_flops):
     kind = symbolic.kind
     symmetric = kind == "cholesky"
     tree = symbolic.tree
@@ -109,7 +116,6 @@ def build_plan(
         if child_map is None:
             continue
         parent_plan = plans[sn.parent]
-        child_grid = plans[sn.index].grid
         n_piv = sn.n_cols
         front = sn.front_size
         update_positions = np.arange(n_piv, front)

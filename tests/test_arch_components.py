@@ -1,7 +1,6 @@
 """Unit tests for simulator components: config, timing, memory system,
 NoC, PEs, generators, and the supernode scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.arch.cache import BankedCache
@@ -148,7 +147,6 @@ class TestCache:
     def test_eviction_and_refetch(self):
         cfg = SpatulaConfig.tiny()
         cache, hbm, _ = self.make(cfg)
-        capacity = cfg.cache_lines
         # Touch way more tiles than fit, striding within one set.
         stride = cfg.cache_banks * cfg.cache_sets_per_bank
         addrs = [k * stride for k in range(cfg.cache_ways + 2)]

@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import (
     CPU_ZEN2_32C,
     CPUModel,
-    GPU_A100,
     GPU_H100,
     GPU_V100,
     GPUModel,

@@ -9,7 +9,6 @@ from repro.arch.energy import (
     power_breakdown,
     _PJ_PER_FLOP,
 )
-from repro.arch.sim import simulate
 from repro.arch.stats import SimReport
 from repro.eval.report import (
     render_cdf,

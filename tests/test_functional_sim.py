@@ -12,7 +12,7 @@ from repro.arch.config import SpatulaConfig
 from repro.arch.functional import TileExecutor
 from repro.arch.sim import SpatulaSim, simulate
 from repro.numeric import multifrontal_cholesky, multifrontal_lu
-from repro.sparse import circuit_like, grid_laplacian_3d
+from repro.sparse import circuit_like
 from repro.symbolic import symbolic_factorize
 from repro.tasks.plan import build_plan
 

@@ -1,7 +1,5 @@
 """End-to-end integration tests crossing all layers."""
 
-import numpy as np
-import pytest
 
 from repro import SparseSolver, SpatulaConfig, simulate, symbolic_factorize
 from repro.arch.sim import SpatulaSim

@@ -171,10 +171,6 @@ class TestMultifrontalLU:
                            atol=1e-10)
 
     def test_kind_mismatch_raises(self, unsym_small):
-        sf = symbolic_factorize(unsym_small, kind="cholesky"
-                                if unsym_small.is_structurally_symmetric()
-                                else "lu")
-        other = symbolic_factorize(unsym_small, kind="lu")
         with pytest.raises(ValueError):
             multifrontal_lu(unsym_small, symbolic_factorize(
                 unsym_small.pattern_symmetrized(), kind="cholesky"))

@@ -109,6 +109,24 @@ class TestMetrics:
         report = run(spd_medium)
         assert report.mean_concurrency() >= 1.0
 
+    def test_concurrency_cdf_all_zero_length_intervals(self, spd_medium):
+        """Degenerate runs where every supernode interval is zero-length
+        (all-empty supernodes) must fall back to the empty-trace CDF
+        instead of crashing on an empty event list."""
+        report = run(spd_medium)
+        report.sn_intervals = [(5, 5), (7, 7)]
+        levels, cdf = report.concurrency_cdf()
+        assert levels.tolist() == [0]
+        assert cdf.tolist() == [1.0]
+        assert report.mean_concurrency() == 0.0
+
+    def test_concurrency_cdf_no_intervals(self, spd_medium):
+        report = run(spd_medium)
+        report.sn_intervals = []
+        levels, cdf = report.concurrency_cdf()
+        assert levels.tolist() == [0]
+        assert cdf.tolist() == [1.0]
+
     def test_summary_mentions_matrix(self, spd_small):
         cfg = SpatulaConfig.tiny()
         report = simulate(spd_small, config=cfg, matrix_name="mymatrix")
@@ -204,8 +222,6 @@ class TestDependenceCorrectness:
         starts: dict[tuple, int] = {}
         ends: dict[tuple, int] = {}
         original = sim._on_exec_done
-
-        seen_pairs = []
 
         def spy_exec_done(payload, now):
             _pe, gen_sn, tidx = payload

@@ -8,7 +8,6 @@ from repro.sparse import (
     circuit_like,
     grid_laplacian_2d,
     grid_laplacian_3d,
-    random_unsymmetric,
 )
 from repro.sparse.csc import CSCMatrix
 

@@ -4,7 +4,7 @@ one-call symbolic factorization."""
 import numpy as np
 import pytest
 
-from repro.sparse import grid_laplacian_2d, grid_laplacian_3d
+from repro.sparse import grid_laplacian_2d
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic import symbolic_factorize
 from repro.symbolic.etree import elimination_tree

@@ -17,7 +17,7 @@ from repro.tasks.flops import (
 )
 from repro.tasks.graph import build_task_graph
 from repro.tasks.plan import build_plan
-from repro.tasks.task import Task, TaskType, TileRef
+from repro.tasks.task import TaskType, TileRef
 
 
 def grid(front, pivots, tile=4, supertile=4):
