@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+import time
 
 import numpy as np
 
@@ -31,7 +32,9 @@ from repro.arch.config import SpatulaConfig
 from repro.arch.sim import SpatulaSim
 from repro.baselines import CPUModel, GPUModel
 from repro.numeric.solver import SparseSolver
+from repro.numeric.tuning import get_tuning
 from repro.obs import (
+    global_registry,
     MetricsRegistry,
     RunArtifact,
     diff_artifacts,
@@ -105,20 +108,62 @@ def cmd_info(args) -> int:
 
 
 def cmd_solve(args) -> int:
-    matrix, kind, ordering = load_matrix(args.matrix)
-    kind = args.kind or kind
-    solver = SparseSolver(matrix, kind=kind, ordering=ordering)
-    rng = np.random.default_rng(args.seed)
-    b = rng.standard_normal(matrix.n_rows)
-    if args.refine:
-        result = solver.solve_refined(matrix, b)
-        print(f"residual {result.residual_norm:.3e} after "
-              f"{result.iterations} refinement sweep(s)")
-    else:
-        x = solver.solve(b)
-        print(f"residual {solver.residual_norm(matrix, x, b):.3e}")
-    print(f"factor nnz {solver.factor_nnz}")
-    return 0
+    tracer = None
+    if args.metrics:
+        tracer = enable_tracing()
+        tracer.reset()
+    try:
+        with span("pipeline.load_matrix"):
+            matrix, kind, ordering = load_matrix(args.matrix)
+        kind = args.kind or kind
+        solver = SparseSolver(matrix, kind=kind, ordering=ordering,
+                              workers=args.workers,
+                              block_size=args.block_size)
+        rng = np.random.default_rng(args.seed)
+        if args.refine:
+            if args.rhs != 1:
+                raise ValueError("--refine supports a single right-hand "
+                                 "side")
+            b = rng.standard_normal(matrix.n_rows)
+            result = solver.solve_refined(matrix, b)
+            print(f"residual {result.residual_norm:.3e} after "
+                  f"{result.iterations} refinement sweep(s)")
+        elif args.rhs > 1:
+            b = rng.standard_normal((matrix.n_rows, args.rhs))
+            x = solver.solve(b)
+            worst = max(
+                solver.residual_norm(matrix, x[:, j], b[:, j])
+                for j in range(args.rhs)
+            )
+            print(f"worst residual over {args.rhs} right-hand sides "
+                  f"{worst:.3e}")
+        else:
+            b = rng.standard_normal(matrix.n_rows)
+            x = solver.solve(b)
+            print(f"residual {solver.residual_norm(matrix, x, b):.3e}")
+        print(f"factor nnz {solver.factor_nnz}")
+        if args.metrics:
+            tuning = get_tuning()
+            artifact = RunArtifact(
+                matrix=args.matrix, kind=kind, n=matrix.n_rows,
+                config={
+                    "workers": args.workers or tuning.workers,
+                    "block_size": args.block_size or tuning.block_size,
+                    "rhs": args.rhs,
+                },
+                report={},
+                metrics=global_registry().snapshot(),
+                spans=[s.to_dict() for s in tracer.spans],
+                created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+            )
+            artifact.save(args.metrics)
+            print(f"wrote run artifact to {args.metrics} "
+                  f"({len(tracer.spans)} spans, "
+                  f"{len(artifact.metrics)} metrics)")
+        return 0
+    finally:
+        if tracer is not None:
+            disable_tracing()
 
 
 def cmd_simulate(args) -> int:
@@ -251,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--refine", action="store_true",
                          help="use iterative refinement")
+    p_solve.add_argument("--workers", type=int, default=None,
+                         help="threads for the level-scheduled numeric "
+                              "factorization (default: tuning)")
+    p_solve.add_argument("--block-size", type=int, default=None,
+                         help="dense-kernel panel width (default: tuning)")
+    p_solve.add_argument("--rhs", type=int, default=1,
+                         help="number of right-hand sides (solved as one "
+                              "blocked panel)")
+    p_solve.add_argument("--metrics", metavar="FILE", default=None,
+                         help="write a run-artifact JSON (numeric-engine "
+                              "metrics + pipeline spans)")
 
     def add_config_args(p):
         p.add_argument("--n-pes", type=int, default=None)

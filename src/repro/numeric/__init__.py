@@ -8,14 +8,23 @@ factorize / solve`` API mirroring the solver structure of Figure 2.
 The Spatula simulator (:mod:`repro.arch`) models the *timing* of this exact
 computation; tests verify the two agree on work performed, and that this
 model's factors satisfy ||A - LL^T|| (resp. ||A - LU||) ~ machine epsilon.
+
+Performance machinery (see ``docs/PERFORMANCE.md``): blocked BLAS-3 dense
+kernels with a :mod:`~repro.numeric.tuning` block-size knob,
+level-scheduled parallel multifrontal traversal, pattern-cached assembly
+maps (:mod:`~repro.numeric.engine`), and a process-global
+:class:`~repro.numeric.cache.AnalysisCache`.
 """
 
 from repro.numeric.dense import (
     dense_cholesky,
     dense_lu_nopivot,
+    solve_lower_dense,
+    solve_upper_dense,
     tsolve_lower_inplace,
     tsolve_upper_inplace,
 )
+from repro.numeric.cache import AnalysisCache, analysis_cache
 from repro.numeric.cholesky import CholeskyFactor, multifrontal_cholesky
 from repro.numeric.lu import LUFactors, multifrontal_lu
 from repro.numeric.triangular import (
@@ -25,12 +34,17 @@ from repro.numeric.triangular import (
 from repro.numeric.refinement import RefinementResult, iterative_refinement
 from repro.numeric.supernodal_solve import cholesky_solve, lu_solve
 from repro.numeric.solver import SparseSolver
+from repro.numeric.tuning import NumericTuning, get_tuning, set_tuning, tuned
 
 __all__ = [
     "dense_cholesky",
     "dense_lu_nopivot",
+    "solve_lower_dense",
+    "solve_upper_dense",
     "tsolve_lower_inplace",
     "tsolve_upper_inplace",
+    "AnalysisCache",
+    "analysis_cache",
     "CholeskyFactor",
     "multifrontal_cholesky",
     "LUFactors",
@@ -42,4 +56,8 @@ __all__ = [
     "cholesky_solve",
     "lu_solve",
     "SparseSolver",
+    "NumericTuning",
+    "get_tuning",
+    "set_tuning",
+    "tuned",
 ]

@@ -1,0 +1,123 @@
+"""Process-global, pattern-keyed cache of symbolic analyses.
+
+Fill-reducing ordering plus symbolic factorization is the expensive,
+value-independent half of a direct solve.  In the workloads Spatula
+targets (circuit simulation, physics timestepping) many solver instances
+are built over the *same* nonzero pattern — so the analysis is a pure
+function of (pattern, kind, ordering, relaxation parameters) and can be
+shared process-wide.
+
+:class:`AnalysisCache` is a small thread-safe LRU keyed on a SHA-1 digest
+of the exact CSC pattern bytes plus the analysis parameters.  A hit
+returns the *same* :class:`~repro.symbolic.analyze.SymbolicFactorization`
+object, which also carries the cached
+:class:`~repro.numeric.engine.NumericContext` scatter maps — so a second
+``SparseSolver`` on an already-analyzed pattern skips ordering, symbolic
+factorization, *and* assembly-map construction, going straight to the
+numeric phase.
+
+Hits and misses are counted in the global metrics registry
+(``numeric.analysis_cache.hits`` / ``.misses``) so run artifacts show
+whether the amortization actually happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.obs.metrics import global_registry
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
+
+
+def pattern_digest(matrix: CSCMatrix) -> str:
+    """SHA-1 digest of a CSC matrix's exact nonzero pattern."""
+    h = hashlib.sha1()
+    h.update(np.int64(matrix.n_rows).tobytes())
+    h.update(np.int64(matrix.n_cols).tobytes())
+    h.update(np.ascontiguousarray(matrix.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(matrix.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Thread-safe LRU cache of symbolic factorizations.
+
+    Keys are (pattern digest, kind, ordering, relax_small, relax_ratio);
+    values are the shared analysis objects.  For LU the caller passes the
+    *post-static-pivoting* work matrix: the row matching is value
+    dependent, so only the matched pattern identifies the analysis.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, SymbolicFactorization]
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(matrix: CSCMatrix, kind: str, ordering: str,
+            relax_small: int, relax_ratio: float) -> tuple:
+        return (pattern_digest(matrix), kind, ordering,
+                int(relax_small), float(relax_ratio))
+
+    def get_or_analyze(
+        self,
+        matrix: CSCMatrix,
+        kind: str,
+        ordering: str,
+        relax_small: int = 8,
+        relax_ratio: float = 0.3,
+    ) -> SymbolicFactorization:
+        """Return the cached analysis for this pattern, or run and cache it."""
+        key = self.key(matrix, kind, ordering, relax_small, relax_ratio)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                global_registry().counter(
+                    "numeric.analysis_cache.hits").inc()
+                return cached
+        # Analyze outside the lock: ordering + symbolic can be slow, and a
+        # duplicate analysis under contention is merely wasted work, never
+        # wrong (last writer wins; both results are identical).
+        symbolic = symbolic_factorize(
+            matrix, kind=kind, ordering=ordering,
+            relax_small=relax_small, relax_ratio=relax_ratio,
+        )
+        with self._lock:
+            self.misses += 1
+            global_registry().counter("numeric.analysis_cache.misses").inc()
+            self._entries[key] = symbolic
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            global_registry().gauge("numeric.analysis_cache.size").set(
+                len(self._entries))
+        return symbolic
+
+    def clear(self) -> None:
+        """Drop all cached analyses (hit/miss totals are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_global_cache = AnalysisCache()
+
+
+def analysis_cache() -> AnalysisCache:
+    """The process-global analysis cache used by ``SparseSolver``."""
+    return _global_cache

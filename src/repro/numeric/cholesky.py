@@ -3,22 +3,51 @@
 The functional model of the computation Spatula accelerates: traverse the
 supernodal assembly tree leaves-to-root; at each supernode, assemble the
 frontal CSQ matrix from A's entries plus the children's update matrices
-(extend-add), run the partial dense factorization, and pass the Schur
-complement up as this supernode's update matrix.
+(extend-add), run the blocked partial dense factorization, and pass the
+Schur complement up as this supernode's update matrix.
+
+Assembly uses the pattern-cached scatter maps of
+:mod:`repro.numeric.engine`, the partial factorization is the blocked
+BLAS-3 kernel of :mod:`repro.numeric.dense`, and with ``workers > 1``
+independent supernodes within an elimination-tree level run on a thread
+pool (level-scheduled traversal; the result is bit-identical to the
+sequential leaves-to-root order for any worker count).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.numeric.dense import partial_cholesky
+from repro.numeric.engine import (
+    TaskTimer,
+    export_factor_metrics,
+    numeric_context,
+    run_level_scheduled,
+)
+from repro.numeric.tuning import (
+    get_tuning,
+    resolve_block_size,
+    resolve_workers,
+)
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization
-from repro.symbolic.assembly import initial_front_values
-from repro.symbolic.csq import CSQMatrix
+
+
+def _supernode_triangle(rows: np.ndarray, n_cols: int
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized (row, col) local index pairs of a supernode's stored
+    lower-trapezoidal block: all (i, j) with j < n_cols and i >= j."""
+    m = len(rows)
+    lengths = m - np.arange(n_cols)
+    jj = np.repeat(np.arange(n_cols), lengths)
+    offsets = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    ii = np.arange(int(lengths.sum())) - np.repeat(offsets, lengths) + jj
+    return ii, jj
 
 
 @dataclass
@@ -36,22 +65,22 @@ class CholeskyFactor:
     columns: list[tuple[np.ndarray, np.ndarray]]
 
     def to_csc(self) -> CSCMatrix:
-        """Materialize L (of the *permuted* matrix) as CSC."""
+        """Materialize L (of the *permuted* matrix) as CSC.
+
+        Assembles whole supernode blocks at once with vectorized
+        ``np.repeat`` / ``np.concatenate`` index arithmetic (no per-column
+        Python loop).
+        """
         rows_all: list[np.ndarray] = []
         cols_all: list[np.ndarray] = []
         vals_all: list[np.ndarray] = []
         for sn, (rows, block) in zip(
             self.symbolic.tree.supernodes, self.columns
         ):
-            n_cols = sn.n_cols
-            for local in range(n_cols):
-                col_rows = rows[local:]
-                rows_all.append(col_rows)
-                cols_all.append(
-                    np.full(len(col_rows), sn.first_col + local,
-                            dtype=np.int64)
-                )
-                vals_all.append(block[local:, local])
+            ii, jj = _supernode_triangle(rows, sn.n_cols)
+            rows_all.append(rows[ii])
+            cols_all.append(sn.first_col + jj)
+            vals_all.append(block[ii, jj])
         n = self.symbolic.n
         coo = COOMatrix(
             n, n,
@@ -72,7 +101,10 @@ class CholeskyFactor:
 
 
 def multifrontal_cholesky(
-    matrix: CSCMatrix, symbolic: SymbolicFactorization
+    matrix: CSCMatrix,
+    symbolic: SymbolicFactorization,
+    workers: int | None = None,
+    block_size: int | None = None,
 ) -> CholeskyFactor:
     """Numerically factor a matrix under an existing symbolic analysis.
 
@@ -80,30 +112,59 @@ def multifrontal_cholesky(
         matrix: the *original* (unpermuted) SPD matrix; it is permuted with
             ``symbolic.perm`` internally, so the same analysis can be reused
             across many numeric factorizations (Figure 2's loop).
+        workers: thread count for level-scheduled parallel traversal
+            (defaults to the global :mod:`repro.numeric.tuning` value).
+            The factor is bit-identical for every worker count.
+        block_size: dense-kernel panel width (defaults to tuning).
     """
     if symbolic.kind != "cholesky":
         raise ValueError("symbolic analysis is not for Cholesky")
-    permuted = matrix.permuted(symbolic.perm)
-    tree = symbolic.tree
-    updates: dict[int, CSQMatrix] = {}
-    columns: list[tuple[np.ndarray, np.ndarray]] = []
+    workers = resolve_workers(workers)
+    block = resolve_block_size(block_size)
+    t_start = time.perf_counter()
 
-    for sn in tree.supernodes:
-        front_values = initial_front_values(permuted, sn)
-        front = CSQMatrix(sn.rows, front_values)
-        # Gather updates from all children (extend-add).
-        for child in sn.children:
-            front.extend_add(updates.pop(child))
-        partial_cholesky(front.values, sn.n_cols)
-        # Keep only the factored columns (lower part).
-        block = np.tril(front.values)[:, : sn.n_cols].copy()
-        columns.append((sn.rows.copy(), block))
-        if sn.parent >= 0 and sn.n_update_rows > 0:
-            update = front.submatrix(sn.n_cols)
-            # Only the lower triangle of the update is meaningful.
-            update.values = np.tril(update.values)
-            update.values += np.tril(update.values, -1).T
-            updates[sn.index] = update
-    if updates:
+    ctx = numeric_context(symbolic, matrix)
+    permuted_data = ctx.permuted_data(matrix)
+    tree = symbolic.tree
+    n_sn = tree.n_supernodes
+    supernodes = tree.supernodes
+    child_maps = tree.child_maps
+    updates: list[np.ndarray | None] = [None] * n_sn
+    columns: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n_sn
+    timer = TaskTimer(n_sn)
+
+    def task(i: int) -> None:
+        with timer.time(i):
+            sn = supernodes[i]
+            size = sn.front_size
+            values = np.zeros((size, size))
+            values.flat[ctx.flat_pos[i]] = permuted_data[ctx.data_idx[i]]
+            # Extend-add children in fixed (ascending) order so the result
+            # does not depend on which worker computed each child.
+            for child in sn.children:
+                pos = child_maps[child]
+                if pos is None:
+                    continue
+                child_update = updates[child]
+                updates[child] = None
+                values[pos[:, None], pos] += child_update
+            partial_cholesky(values, sn.n_cols, block=block)
+            columns[i] = (sn.rows.copy(),
+                          np.tril(values[:, : sn.n_cols]))
+            if sn.parent >= 0 and sn.n_update_rows > 0:
+                # Only the lower triangle of the update is meaningful, and
+                # the whole Cholesky pipeline only ever reads lower
+                # triangles — pass the trailing square as-is.
+                updates[i] = values[sn.n_cols:, sn.n_cols:].copy()
+
+    dispatched = run_level_scheduled(
+        ctx.levels, n_sn, task, workers,
+        parallel_threshold=get_tuning().parallel_threshold,
+    )
+    if any(u is not None for u in updates):
         raise AssertionError("unconsumed update matrices remain")
+    export_factor_metrics(
+        symbolic, time.perf_counter() - t_start, workers, block,
+        ctx.levels, timer.total(), dispatched,
+    )
     return CholeskyFactor(symbolic=symbolic, columns=columns)

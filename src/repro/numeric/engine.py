@@ -1,0 +1,322 @@
+"""Level-scheduled multifrontal execution engine.
+
+This module is the machinery shared by :func:`multifrontal_cholesky` and
+:func:`multifrontal_lu`:
+
+* **Pattern-cached numeric context** (:class:`NumericContext`): for a fixed
+  symbolic analysis, the permutation of A's values into the permuted matrix
+  and the scatter of those values into every supernode's frontal matrix are
+  pure functions of the nonzero pattern.  They are resolved *once* into
+  flat index maps and cached on the symbolic object, so each numeric
+  (re)factorization assembles every front with two fancy-indexing
+  operations instead of per-entry Python loops — the amortized-analysis
+  serving pattern of CKTSO-style circuit simulation.
+
+* **Level-scheduled parallel traversal** (:func:`run_level_scheduled`):
+  elimination-tree level sets (:func:`repro.symbolic.etree.etree_level_sets`
+  over the supernode parent array) group mutually independent supernodes;
+  levels run leaves-to-root with a barrier between them, and supernodes
+  within a level are dispatched to a ``ThreadPoolExecutor`` (NumPy's BLAS
+  releases the GIL inside the blocked kernels).  Each supernode's
+  computation — assembly, extend-add in fixed child order, blocked partial
+  factorization — is deterministic and writes only its own slots, so
+  ``workers=N`` produces bit-identical factors for every N.
+
+* **Metrics export** (:func:`export_factor_metrics`): kernel FLOP rates,
+  level widths, and worker occupancy land in the process-global
+  :func:`repro.obs.global_registry` so run artifacts (and
+  ``repro report --diff``) make numeric-engine regressions visible.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from repro.obs.metrics import global_registry
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.analyze import SymbolicFactorization
+from repro.symbolic.etree import etree_level_sets
+
+
+def _as_int_index(data: np.ndarray) -> np.ndarray:
+    return np.asarray(data, dtype=np.int64)
+
+
+def _arange_csc(n_rows: int, n_cols: int, rows: np.ndarray,
+                cols: np.ndarray) -> CSCMatrix:
+    """CSC of the given pattern whose values are the source entry indices.
+
+    Entry values are ``arange(nnz)`` floats; after conversion, ``.data``
+    tells for every CSC slot which source entry landed there (exact for any
+    nnz < 2**53; patterns here are orders of magnitude smaller).
+    """
+    vals = np.arange(len(rows), dtype=np.float64)
+    return CSCMatrix.from_coo(COOMatrix(n_rows, n_cols, rows, cols, vals))
+
+
+def row_permutation_data_map(matrix: CSCMatrix,
+                             row_perm: np.ndarray) -> np.ndarray:
+    """Index map for applying a row permutation to a fixed CSC pattern.
+
+    Returns ``idx`` such that for any matrix ``M`` with this pattern, the
+    row-permuted matrix (rows mapped through ``inverse(row_perm)``, as
+    :func:`repro.ordering.pivoting.apply_static_pivoting` builds it) has
+    ``data == M.data[idx]`` on its own fixed pattern.
+    """
+    inverse = np.empty_like(row_perm)
+    inverse[row_perm] = np.arange(len(row_perm))
+    coo = matrix.to_coo()
+    tagged = _arange_csc(matrix.n_rows, matrix.n_cols,
+                         inverse[coo.rows], coo.cols)
+    return _as_int_index(tagged.data)
+
+
+class NumericContext:
+    """Precomputed per-pattern index maps for fast numeric factorization.
+
+    Built once per (symbolic analysis, matrix pattern) and cached on the
+    symbolic object; every subsequent factorization with the same pattern
+    reuses the maps, turning front assembly into pure NumPy gathers.
+
+    Attributes:
+        perm_data: ``permuted.data == matrix.data[perm_data]``.
+        flat_pos / data_idx: per-supernode scatter maps;
+            ``front.flat[flat_pos[i]] = permuted_data[data_idx[i]]``
+            initializes supernode ``i``'s front from A's entries (both the
+            L and — for LU — the U part).
+        levels: supernode level sets (leaves first) for the scheduler.
+    """
+
+    def __init__(self, symbolic: SymbolicFactorization,
+                 matrix: CSCMatrix) -> None:
+        self.symbolic = symbolic
+        if matrix.n_rows != symbolic.n or matrix.n_cols != symbolic.n:
+            raise ValueError(
+                "matrix pattern does not match the symbolic analysis; "
+                "run symbolic_factorize on this matrix first"
+            )
+        self.src_indptr = matrix.indptr.copy()
+        self.src_indices = matrix.indices.copy()
+
+        n = matrix.n_rows
+        perm = symbolic.perm
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(n)
+        coo = matrix.to_coo()
+        tagged = _arange_csc(n, n, inverse[coo.rows], inverse[coo.cols])
+        analyzed = symbolic.permuted
+        if not (np.array_equal(tagged.indptr, analyzed.indptr)
+                and np.array_equal(tagged.indices, analyzed.indices)):
+            raise ValueError(
+                "matrix pattern does not match the symbolic analysis; "
+                "run symbolic_factorize on this matrix first"
+            )
+        self.perm_data = _as_int_index(tagged.data)
+
+        tree = symbolic.tree
+        sn_parent = np.array([sn.parent for sn in tree.supernodes],
+                             dtype=np.int64)
+        self.levels = etree_level_sets(sn_parent)
+
+        lower_maps = self._build_column_maps(
+            analyzed.indptr, analyzed.indices
+        )
+        if symbolic.kind == "lu":
+            upper_maps = self._build_row_maps(analyzed)
+            self.flat_pos = [
+                np.concatenate([lo[0], up[0]])
+                for lo, up in zip(lower_maps, upper_maps)
+            ]
+            self.data_idx = [
+                np.concatenate([lo[1], up[1]])
+                for lo, up in zip(lower_maps, upper_maps)
+            ]
+        else:
+            self.flat_pos = [m[0] for m in lower_maps]
+            self.data_idx = [m[1] for m in lower_maps]
+
+    # -- construction helpers ------------------------------------------------
+
+    def _build_column_maps(self, indptr: np.ndarray, indices: np.ndarray
+                           ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-supernode (front flat position, permuted data index) pairs
+        for A's at-or-below-diagonal entries (the L part of every front)."""
+        maps = []
+        for sn in self.symbolic.tree.supernodes:
+            size = sn.front_size
+            flat: list[np.ndarray] = []
+            data: list[np.ndarray] = []
+            for local, j in enumerate(range(sn.first_col, sn.last_col + 1)):
+                lo, hi = int(indptr[j]), int(indptr[j + 1])
+                rows = indices[lo:hi]
+                # Rows are sorted; the lower-triangle part is a suffix.
+                start = int(np.searchsorted(rows, j))
+                rows = rows[start:]
+                pos = np.searchsorted(sn.rows, rows)
+                ok = (pos < size) & (sn.rows[np.minimum(pos, size - 1)]
+                                     == rows)
+                flat.append(pos[ok] * size + local)
+                data.append(lo + start + np.flatnonzero(ok))
+            maps.append((
+                np.concatenate(flat) if flat else np.empty(0, np.int64),
+                np.concatenate(data) if data else np.empty(0, np.int64),
+            ))
+        return maps
+
+    def _build_row_maps(self, analyzed: CSCMatrix
+                        ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-supernode maps for A's strictly-right-of-diagonal row
+        entries (the U part of LU fronts), via a tagged transpose."""
+        n = analyzed.n_rows
+        cols = np.repeat(np.arange(n, dtype=np.int64),
+                         np.diff(analyzed.indptr))
+        # "Columns" of the tagged transpose are rows of the permuted
+        # matrix; its data slots carry the permuted-data index.
+        t = _arange_csc(n, n, cols, analyzed.indices.copy())
+        t_src = _as_int_index(t.data)
+        maps = []
+        for sn in self.symbolic.tree.supernodes:
+            size = sn.front_size
+            flat: list[np.ndarray] = []
+            data: list[np.ndarray] = []
+            for local, j in enumerate(range(sn.first_col, sn.last_col + 1)):
+                lo, hi = int(t.indptr[j]), int(t.indptr[j + 1])
+                cidx = t.indices[lo:hi]
+                start = int(np.searchsorted(cidx, j + 1))  # strictly right
+                cidx = cidx[start:]
+                pos = np.searchsorted(sn.rows, cidx)
+                ok = (pos < size) & (sn.rows[np.minimum(pos, size - 1)]
+                                     == cidx)
+                flat.append(local * size + pos[ok])
+                data.append(t_src[lo + start + np.flatnonzero(ok)])
+            maps.append((
+                np.concatenate(flat) if flat else np.empty(0, np.int64),
+                np.concatenate(data) if data else np.empty(0, np.int64),
+            ))
+        return maps
+
+    # -- queries -------------------------------------------------------------
+
+    def matches(self, matrix: CSCMatrix) -> bool:
+        """True if this context was built for ``matrix``'s pattern."""
+        return (
+            np.array_equal(self.src_indptr, matrix.indptr)
+            and np.array_equal(self.src_indices, matrix.indices)
+        )
+
+    def permuted_data(self, matrix: CSCMatrix) -> np.ndarray:
+        """Values of ``matrix.permuted(symbolic.perm)`` without the
+        COO round trip."""
+        return matrix.data[self.perm_data]
+
+
+def numeric_context(symbolic: SymbolicFactorization,
+                    matrix: CSCMatrix) -> NumericContext:
+    """Get (or build and cache) the numeric context for a pattern."""
+    ctx = getattr(symbolic, "_numeric_ctx", None)
+    if ctx is None or not ctx.matches(matrix):
+        ctx = NumericContext(symbolic, matrix)
+        symbolic._numeric_ctx = ctx
+    return ctx
+
+
+# -- level-scheduled execution -------------------------------------------------
+
+
+def run_level_scheduled(
+    levels: list[np.ndarray],
+    n_supernodes: int,
+    task: Callable[[int], None],
+    workers: int,
+    parallel_threshold: int = 2,
+) -> int:
+    """Run ``task(i)`` for every supernode, children before parents.
+
+    With ``workers == 1`` this is a plain ascending-index loop (ascending
+    index order is a valid bottom-up order of the assembly tree).  With
+    more workers, levels execute in order with a barrier between them and
+    the supernodes inside each wide-enough level are dispatched to a
+    thread pool.  Worker exceptions propagate to the caller.
+
+    Returns the number of tasks that were dispatched to the pool.
+    """
+    if workers <= 1:
+        for i in range(n_supernodes):
+            task(i)
+        return 0
+    dispatched = 0
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for level in levels:
+            if len(level) < parallel_threshold:
+                for i in level:
+                    task(int(i))
+            else:
+                # list() drains the iterator: barrier + exception propagation.
+                list(pool.map(task, [int(i) for i in level]))
+                dispatched += len(level)
+    return dispatched
+
+
+def export_factor_metrics(
+    symbolic: SymbolicFactorization,
+    seconds: float,
+    workers: int,
+    block_size: int,
+    levels: list[np.ndarray],
+    busy_seconds: float,
+    parallel_tasks: int,
+) -> None:
+    """Report one numeric factorization into the global metrics registry."""
+    reg = global_registry()
+    reg.counter("numeric.factor.count").inc()
+    reg.counter("numeric.factor.seconds").inc(seconds)
+    reg.counter("numeric.factor.flops").inc(symbolic.flops)
+    if seconds > 0.0:
+        reg.gauge("numeric.factor.gflops_per_s").set(
+            symbolic.flops / seconds / 1e9
+        )
+    reg.gauge("numeric.factor.block_size").set(block_size)
+    reg.gauge("numeric.factor.workers").set(workers)
+    reg.counter("numeric.parallel.tasks").inc(parallel_tasks)
+    if workers > 1 and seconds > 0.0:
+        reg.gauge("numeric.parallel.occupancy").set(
+            min(1.0, busy_seconds / (seconds * workers))
+        )
+    reg.gauge("numeric.levels.count").set(len(levels))
+    widths = reg.histogram("numeric.levels.width")
+    for level in levels:
+        widths.observe(len(level))
+
+
+class TaskTimer:
+    """Per-supernode wall-clock accumulator (disjoint slots, no locking)."""
+
+    def __init__(self, n: int) -> None:
+        self.busy = np.zeros(n)
+
+    def time(self, i: int):
+        return _TimeSlot(self.busy, i)
+
+    def total(self) -> float:
+        return float(self.busy.sum())
+
+
+class _TimeSlot:
+    __slots__ = ("_busy", "_i", "_t0")
+
+    def __init__(self, busy: np.ndarray, i: int) -> None:
+        self._busy = busy
+        self._i = i
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._busy[self._i] += time.perf_counter() - self._t0
+        return False

@@ -6,20 +6,36 @@ and the trailing square is the update matrix.  Static pivoting (row
 matching) happens before the symbolic analysis; tiny pivots encountered
 during factorization are bumped by ``sqrt(eps) * ||A||_max`` as in
 static-pivoted solvers.
+
+Like the Cholesky side, assembly runs through the pattern-cached scatter
+maps of :mod:`repro.numeric.engine`, the partial factorization is the
+blocked BLAS-3 kernel, and ``workers > 1`` runs independent supernodes of
+each elimination-tree level on a thread pool with bit-identical results.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.numeric.cholesky import _supernode_triangle
 from repro.numeric.dense import partial_lu
+from repro.numeric.engine import (
+    TaskTimer,
+    export_factor_metrics,
+    numeric_context,
+    run_level_scheduled,
+)
+from repro.numeric.tuning import (
+    get_tuning,
+    resolve_block_size,
+    resolve_workers,
+)
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization
-from repro.symbolic.assembly import initial_front_values_lu
-from repro.symbolic.csq import CSQMatrix
 
 
 @dataclass
@@ -45,6 +61,8 @@ class LUFactors:
         """Materialize (L, U) of the permuted matrix as CSC.
 
         L has unit diagonal (stored); U holds the pivots on its diagonal.
+        Whole supernode blocks are assembled at once with vectorized
+        ``np.repeat`` / ``np.concatenate`` index arithmetic.
         """
         n = self.symbolic.n
         l_rows, l_cols, l_vals = [], [], []
@@ -52,21 +70,19 @@ class LUFactors:
         for sn, (rows, l_block, u_block) in zip(
             self.symbolic.tree.supernodes, self.fronts
         ):
-            for local in range(sn.n_cols):
-                col = sn.first_col + local
-                # L column: unit diagonal + subdiagonal entries.
-                col_rows = rows[local:]
-                vals = l_block[local:, local].copy()
-                vals[0] = 1.0
-                l_rows.append(col_rows)
-                l_cols.append(np.full(len(col_rows), col, dtype=np.int64))
-                l_vals.append(vals)
-                # U row `col`: diagonal + superdiagonal entries, stored
-                # column-wise (entry (col, rows[j]) for j >= local).
-                row_cols = rows[local:]
-                u_rows.append(np.full(len(row_cols), col, dtype=np.int64))
-                u_cols.append(row_cols)
-                u_vals.append(u_block[local, local:])
+            ii, jj = _supernode_triangle(rows, sn.n_cols)
+            # L: column first_col + j holds rows[i] for i >= j; the
+            # diagonal (i == j) is stored as the unit 1.0.
+            vals = l_block[ii, jj]
+            vals[ii == jj] = 1.0
+            l_rows.append(rows[ii])
+            l_cols.append(sn.first_col + jj)
+            l_vals.append(vals)
+            # U: row first_col + j holds columns rows[i] for i >= j,
+            # including the pivot diagonal.
+            u_rows.append(sn.first_col + jj)
+            u_cols.append(rows[ii])
+            u_vals.append(u_block[jj, ii])
         lower = CSCMatrix.from_coo(COOMatrix(
             n, n, np.concatenate(l_rows), np.concatenate(l_cols),
             np.concatenate(l_vals),
@@ -82,6 +98,8 @@ def multifrontal_lu(
     matrix: CSCMatrix,
     symbolic: SymbolicFactorization,
     perturb: float | None = None,
+    workers: int | None = None,
+    block_size: int | None = None,
 ) -> LUFactors:
     """Numerically LU-factor a matrix under an existing symbolic analysis.
 
@@ -90,34 +108,64 @@ def multifrontal_lu(
             matrix.
         symbolic: analysis with kind == "lu".
         perturb: small-pivot threshold; defaults to sqrt(eps) * max|A|.
+        workers: thread count for level-scheduled parallel traversal
+            (defaults to the global tuning; bit-identical for every N).
+        block_size: dense-kernel panel width (defaults to tuning).
     """
     if symbolic.kind != "lu":
         raise ValueError("symbolic analysis is not for LU")
-    permuted = matrix.permuted(symbolic.perm)
-    permuted_csr = permuted.transpose()
+    workers = resolve_workers(workers)
+    block = resolve_block_size(block_size)
+    t_start = time.perf_counter()
+
+    ctx = numeric_context(symbolic, matrix)
+    permuted_data = ctx.permuted_data(matrix)
     if perturb is None:
-        amax = float(np.abs(permuted.data).max()) if permuted.nnz else 1.0
+        amax = float(np.abs(matrix.data).max()) if matrix.nnz else 1.0
         perturb = np.sqrt(np.finfo(np.float64).eps) * amax
 
     tree = symbolic.tree
-    updates: dict[int, CSQMatrix] = {}
-    fronts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    perturbed = 0
+    n_sn = tree.n_supernodes
+    supernodes = tree.supernodes
+    child_maps = tree.child_maps
+    updates: list[np.ndarray | None] = [None] * n_sn
+    fronts: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]
+    fronts = [None] * n_sn
+    perturbed = np.zeros(n_sn, dtype=np.int64)
+    timer = TaskTimer(n_sn)
 
-    for sn in tree.supernodes:
-        values = initial_front_values_lu(permuted, permuted_csr, sn)
-        front = CSQMatrix(sn.rows, values)
-        for child in sn.children:
-            front.extend_add(updates.pop(child))
-        before = np.abs(np.diag(front.values)[: sn.n_cols])
-        partial_lu(front.values, sn.n_cols, perturb=perturb)
-        perturbed += int(np.sum(before < perturb))
-        l_block = np.tril(front.values)[:, : sn.n_cols].copy()
-        u_block = np.triu(front.values)[: sn.n_cols, :].copy()
-        fronts.append((sn.rows.copy(), l_block, u_block))
-        if sn.parent >= 0 and sn.n_update_rows > 0:
-            updates[sn.index] = front.submatrix(sn.n_cols)
-    if updates:
+    def task(i: int) -> None:
+        with timer.time(i):
+            sn = supernodes[i]
+            size = sn.front_size
+            k = sn.n_cols
+            values = np.zeros((size, size))
+            values.flat[ctx.flat_pos[i]] = permuted_data[ctx.data_idx[i]]
+            for child in sn.children:
+                pos = child_maps[child]
+                if pos is None:
+                    continue
+                child_update = updates[child]
+                updates[child] = None
+                values[pos[:, None], pos] += child_update
+            before = np.abs(np.diag(values)[:k])
+            perturbed[i] = int(np.sum(before < perturb))
+            partial_lu(values, k, perturb=perturb, block=block)
+            fronts[i] = (sn.rows.copy(),
+                         np.tril(values[:, :k]),
+                         np.triu(values[:k, :]))
+            if sn.parent >= 0 and sn.n_update_rows > 0:
+                updates[i] = values[k:, k:].copy()
+
+    dispatched = run_level_scheduled(
+        ctx.levels, n_sn, task, workers,
+        parallel_threshold=get_tuning().parallel_threshold,
+    )
+    if any(u is not None for u in updates):
         raise AssertionError("unconsumed update matrices remain")
+    export_factor_metrics(
+        symbolic, time.perf_counter() - t_start, workers, block,
+        ctx.levels, timer.total(), dispatched,
+    )
     return LUFactors(symbolic=symbolic, fronts=fronts,
-                     perturbed_pivots=perturbed)
+                     perturbed_pivots=int(perturbed.sum()))

@@ -5,6 +5,12 @@ symbolic factorization once (``analyze``), then repeated numeric
 factorizations (``factorize``) and cheap triangular solves (``solve``) as
 matrix values evolve with a fixed pattern — the circuit-simulation /
 physics-timestepping usage pattern that motivates the paper.
+
+The analysis phase is amortized two ways: within one solver, the
+pattern-cached scatter maps of :mod:`repro.numeric.engine` make every
+``refactorize`` a pure-NumPy assembly; across solvers, the process-global
+:class:`~repro.numeric.cache.AnalysisCache` shares the symbolic analysis
+between instances built over the same pattern.
 """
 
 from __future__ import annotations
@@ -13,16 +19,19 @@ import logging
 
 import numpy as np
 
+from repro.numeric.cache import analysis_cache
 from repro.numeric.cholesky import CholeskyFactor, multifrontal_cholesky
+from repro.numeric.engine import row_permutation_data_map
 from repro.numeric.lu import LUFactors, multifrontal_lu
 from repro.numeric.refinement import RefinementResult, iterative_refinement
 from repro.numeric.supernodal_solve import cholesky_solve, lu_solve
-from repro.obs import span
 from repro.numeric.triangular import (
     solve_lower_csc,
     solve_upper_csc,
     solve_upper_csc_direct,
 )
+from repro.obs import span
+from repro.obs.metrics import global_registry
 from repro.ordering.pivoting import apply_static_pivoting
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
@@ -47,6 +56,14 @@ class SparseSolver:
         kind: "cholesky" or "lu".
         ordering: fill-reducing ordering method ("amd", "nd", "rcm",
             "natural").
+        workers: thread count for the level-scheduled numeric phase
+            (``None`` defers to the global :mod:`repro.numeric.tuning`).
+            The factor is bit-identical for every worker count.
+        block_size: dense-kernel panel width (``None`` defers to tuning).
+        use_cache: share the symbolic analysis through the process-global
+            :func:`~repro.numeric.cache.analysis_cache` so repeated solver
+            construction over one pattern skips ordering and symbolic
+            factorization.
     """
 
     def __init__(
@@ -56,20 +73,43 @@ class SparseSolver:
         ordering: str = "amd",
         relax_small: int = 8,
         relax_ratio: float = 0.3,
+        workers: int | None = None,
+        block_size: int | None = None,
+        use_cache: bool = True,
     ) -> None:
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("solver requires a square matrix")
         self.kind = kind
+        self.workers = workers
+        self.block_size = block_size
+        # The pattern this solver was built for (refactorize validates
+        # against it, so pattern changes fail loudly).
+        self._src_indptr = matrix.indptr.copy()
+        self._src_indices = matrix.indices.copy()
         self._row_perm: np.ndarray | None = None
+        self._row_data_map: np.ndarray | None = None
         work = matrix
         if kind == "lu":
             work, self._row_perm = apply_static_pivoting(matrix)
+            # Precompute the static-pivoting data map once: refactorize
+            # then permutes new values with one gather instead of a COO
+            # round trip per call.
+            self._row_data_map = row_permutation_data_map(
+                matrix, self._row_perm)
         elif kind != "cholesky":
             raise ValueError("kind must be 'cholesky' or 'lu'")
-        self.symbolic: SymbolicFactorization = symbolic_factorize(
-            work, kind=kind, ordering=ordering,
-            relax_small=relax_small, relax_ratio=relax_ratio,
-        )
+        if use_cache:
+            self.symbolic: SymbolicFactorization = (
+                analysis_cache().get_or_analyze(
+                    work, kind=kind, ordering=ordering,
+                    relax_small=relax_small, relax_ratio=relax_ratio,
+                )
+            )
+        else:
+            self.symbolic = symbolic_factorize(
+                work, kind=kind, ordering=ordering,
+                relax_small=relax_small, relax_ratio=relax_ratio,
+            )
         self._matrix = work
         self._chol: CholeskyFactor | None = None
         self._lu: LUFactors | None = None
@@ -83,44 +123,54 @@ class SparseSolver:
         """(Re)run the numeric factorization for the current values."""
         with span("numeric.factorize"):
             if self.kind == "cholesky":
-                self._chol = multifrontal_cholesky(self._matrix,
-                                                   self.symbolic)
-                self._lower = self._chol.to_csc()
-                self._upper = None
+                self._chol = multifrontal_cholesky(
+                    self._matrix, self.symbolic,
+                    workers=self.workers, block_size=self.block_size,
+                )
             else:
-                self._lu = multifrontal_lu(self._matrix, self.symbolic)
-                self._lower, self._upper = self._lu.to_csc()
-        logger.info("numeric %s factorization: factor nnz %d",
-                    self.kind, self.factor_nnz)
+                self._lu = multifrontal_lu(
+                    self._matrix, self.symbolic,
+                    workers=self.workers, block_size=self.block_size,
+                )
+            # CSC mirrors are materialized lazily (only the "csc" solve
+            # method and factor_nnz need them).
+            self._lower = None
+            self._upper = None
+        logger.info("numeric %s factorization: predicted factor nnz %d",
+                    self.kind, self.symbolic.factor_nnz)
 
     def refactorize(self, matrix: CSCMatrix) -> None:
         """Refactor with new values on the same nonzero pattern.
 
         Raises ValueError if the pattern differs from the analyzed one.
         """
-        if self.kind == "lu":
-            # Re-apply the *existing* row permutation: the pattern is fixed,
-            # so the original matching stays structurally valid.
-            inverse = np.empty_like(self._row_perm)
-            inverse[self._row_perm] = np.arange(len(self._row_perm))
-            coo = matrix.to_coo()
-            from repro.sparse.coo import COOMatrix
-
-            work = CSCMatrix.from_coo(COOMatrix(
-                matrix.n_rows, matrix.n_cols,
-                inverse[coo.rows], coo.cols, coo.vals,
-            ))
-        else:
-            work = matrix
         if not (
-            np.array_equal(work.indptr, self._matrix.indptr)
-            and np.array_equal(work.indices, self._matrix.indices)
+            np.array_equal(matrix.indptr, self._src_indptr)
+            and np.array_equal(matrix.indices, self._src_indices)
         ):
             raise ValueError(
                 "pattern changed; construct a new SparseSolver instead"
             )
-        self._matrix = work
+        if self.kind == "lu":
+            # Re-apply the *existing* row permutation: the pattern is
+            # fixed, so the original matching stays structurally valid and
+            # the permutation is a single precomputed gather.
+            self._matrix = CSCMatrix(
+                matrix.n_rows, matrix.n_cols,
+                self._matrix.indptr, self._matrix.indices,
+                matrix.data[self._row_data_map],
+            )
+        else:
+            self._matrix = matrix
         self.factorize()
+
+    def _ensure_csc(self) -> None:
+        if self._lower is not None:
+            return
+        if self.kind == "cholesky":
+            self._lower = self._chol.to_csc()
+        else:
+            self._lower, self._upper = self._lu.to_csc()
 
     # -- solve phase --------------------------------------------------------
 
@@ -130,8 +180,9 @@ class SparseSolver:
 
         Args:
             b: right-hand side — a vector of length n, or an (n, k) array
-                of k right-hand sides (solved column by column, reusing
-                the factorization).
+                of k right-hand sides.  A panel is solved in one blocked
+                sweep over the factor (every triangular operation carries
+                all k columns), not column by column.
             method: "supernodal" (blocked panel solves over the factor's
                 supernode structure, the multifrontal-native path) or
                 "csc" (simple column-at-a-time substitution; used as an
@@ -140,15 +191,14 @@ class SparseSolver:
         if method not in ("supernodal", "csc"):
             raise ValueError("method must be 'supernodal' or 'csc'")
         b = np.asarray(b, dtype=np.float64)
-        if b.ndim == 2:
-            return np.column_stack([
-                self.solve(b[:, j], method=method)
-                for j in range(b.shape[1])
-            ])
-        if b.ndim != 1:
+        if b.ndim not in (1, 2):
             raise ValueError("b must be a vector or an (n, k) array")
+        if b.shape[0] != self.symbolic.n:
+            raise ValueError("dimension mismatch in solve")
         perm = self.symbolic.perm
         with span("numeric.solve"):
+            if method == "csc":
+                self._ensure_csc()
             if self.kind == "cholesky":
                 pb = b[perm]
                 if method == "supernodal":
@@ -165,9 +215,13 @@ class SparseSolver:
                     y = solve_lower_csc(self._lower, pb,
                                         unit_diagonal=True)
                     px = solve_upper_csc_direct(self._upper, y)
+            reg = global_registry()
+            reg.counter("numeric.solve.count").inc()
+            reg.counter("numeric.solve.rhs").inc(
+                1 if b.ndim == 1 else b.shape[1])
         # Undo the fill-reducing (symmetric) permutation: px solves the
-        # permuted system, so x[perm[i]] = px[i].
-        x = np.empty(len(px))
+        # permuted system, so x[perm[i]] = px[i] (row-wise for panels).
+        x = np.empty_like(px)
         x[perm] = px
         return x
 
@@ -195,6 +249,7 @@ class SparseSolver:
     @property
     def factor_nnz(self) -> int:
         """Stored factor nonzeros (L, or L + U for LU)."""
+        self._ensure_csc()
         count = self._lower.nnz
         if self._upper is not None:
             count += self._upper.nnz

@@ -3,14 +3,19 @@
 The CSC solves in :mod:`repro.numeric.triangular` process one column at a
 time.  Real multifrontal packages instead solve supernode-by-supernode
 with dense panels — the same block structure the factorization produced —
-which turns the solve into a sequence of small BLAS-2 operations.  This
+which turns the solve into a sequence of small BLAS operations.  This
 module implements that blocked solve directly on the
 :class:`~repro.numeric.cholesky.CholeskyFactor` /
 :class:`~repro.numeric.lu.LUFactors` outputs, avoiding the CSC
 materialization entirely.
 
+Right-hand sides may be a vector or an (n, k) panel; a panel is solved as
+one blocked sweep (every per-supernode operation carries all k columns),
+which is where multi-RHS throughput comes from — the panel updates are
+matrix-matrix products instead of k repeated matrix-vector products.
+
 Forward solve (L y = b), per supernode in postorder:
-    y_sn   = L11^-1 b_sn                 (dense triangular solve)
+    y_sn   = L11^-1 b_sn                 (dense triangular panel solve)
     b_rest -= L21 @ y_sn                 (panel update, scattered by rows)
 Backward solve (L^T x = y) runs the supernodes in reverse.
 """
@@ -20,82 +25,75 @@ from __future__ import annotations
 import numpy as np
 
 from repro.numeric.cholesky import CholeskyFactor
+from repro.numeric.dense import _solve_lower_inplace, _solve_upper_inplace
 from repro.numeric.lu import LUFactors
 
 
-def _solve_lower_unit_dense(tri: np.ndarray, rhs: np.ndarray,
-                            unit: bool) -> np.ndarray:
-    """Forward substitution against a dense lower-triangular panel."""
-    n = tri.shape[0]
-    y = rhs.astype(np.float64, copy=True)
-    for j in range(n):
-        if not unit:
-            y[j] /= tri[j, j]
-        if j + 1 < n:
-            y[j + 1:] -= tri[j + 1:, j] * y[j]
-    return y
-
-
-def _solve_upper_dense(tri: np.ndarray, rhs: np.ndarray,
-                       unit: bool) -> np.ndarray:
-    """Backward substitution against a dense upper-triangular panel."""
-    n = tri.shape[0]
-    x = rhs.astype(np.float64, copy=True)
-    for j in range(n - 1, -1, -1):
-        if not unit:
-            x[j] /= tri[j, j]
-        if j > 0:
-            x[:j] -= tri[:j, j] * x[j]
-    return x
+def _as_panel(b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """View ``b`` as a float64 (n, k) working panel; flag if it was 1-D."""
+    y = np.asarray(b, dtype=np.float64).copy()
+    if y.ndim == 1:
+        return y.reshape(-1, 1), True
+    if y.ndim != 2:
+        raise ValueError("right-hand side must be a vector or (n, k) array")
+    return y, False
 
 
 def cholesky_solve(factor: CholeskyFactor, b: np.ndarray) -> np.ndarray:
-    """Solve (L L^T) x = b using the supernodal factor directly.
+    """Solve (L L^T) X = B using the supernodal factor directly.
 
     ``b`` is in the *permuted* index space (callers apply the fill
-    permutation, as :class:`repro.numeric.solver.SparseSolver` does).
+    permutation, as :class:`repro.numeric.solver.SparseSolver` does) and
+    may be a vector or an (n, k) panel of right-hand sides.
     """
     supernodes = factor.symbolic.tree.supernodes
-    y = np.asarray(b, dtype=np.float64).copy()
-    # Forward: L y = b, supernodes in postorder.
+    y, was_vector = _as_panel(b)
+    # Forward: L Y = B, supernodes in postorder.
     for sn, (rows, block) in zip(supernodes, factor.columns):
         k = sn.n_cols
-        panel = block[:k, :]              # L11 (lower triangular)
-        y_sn = _solve_lower_unit_dense(panel, y[rows[:k]], unit=False)
+        y_sn = y[rows[:k]]
+        _solve_lower_inplace(block[:k, :], y_sn, False)
         y[rows[:k]] = y_sn
         if len(rows) > k:
             y[rows[k:]] -= block[k:, :] @ y_sn
-    # Backward: L^T x = y, supernodes in reverse.
+    # Backward: L^T X = Y, supernodes in reverse.
     x = y
     for sn, (rows, block) in zip(reversed(supernodes),
                                  reversed(factor.columns)):
         k = sn.n_cols
-        rhs = x[rows[:k]].copy()
+        rhs = x[rows[:k]]
         if len(rows) > k:
             rhs -= block[k:, :].T @ x[rows[k:]]
-        x[rows[:k]] = _solve_upper_dense(block[:k, :].T, rhs, unit=False)
-    return x
+        _solve_upper_inplace(block[:k, :].T, rhs, False)
+        x[rows[:k]] = rhs
+    return x[:, 0] if was_vector else x
 
 
 def lu_solve(factors: LUFactors, b: np.ndarray) -> np.ndarray:
-    """Solve (L U) x = b using the supernodal factors directly."""
+    """Solve (L U) X = B using the supernodal factors directly.
+
+    Same conventions as :func:`cholesky_solve`; ``b`` may be a vector or
+    an (n, k) panel.
+    """
     supernodes = factors.symbolic.tree.supernodes
-    y = np.asarray(b, dtype=np.float64).copy()
-    # Forward: L y = b (unit-diagonal L).
+    y, was_vector = _as_panel(b)
+    # Forward: L Y = B (unit-diagonal L; the stored diagonal holds U's
+    # pivots and is never read by the unit solve).
     for sn, (rows, l_block, _u_block) in zip(supernodes, factors.fronts):
         k = sn.n_cols
-        panel = np.tril(l_block[:k, :], -1) + np.eye(k)
-        y_sn = _solve_lower_unit_dense(panel, y[rows[:k]], unit=True)
+        y_sn = y[rows[:k]]
+        _solve_lower_inplace(l_block[:k, :], y_sn, True)
         y[rows[:k]] = y_sn
         if len(rows) > k:
             y[rows[k:]] -= l_block[k:, :] @ y_sn
-    # Backward: U x = y.
+    # Backward: U X = Y.
     x = y
     for sn, (rows, _l_block, u_block) in zip(reversed(supernodes),
                                              reversed(factors.fronts)):
         k = sn.n_cols
-        rhs = x[rows[:k]].copy()
+        rhs = x[rows[:k]]
         if len(rows) > k:
             rhs -= u_block[:, k:] @ x[rows[k:]]
-        x[rows[:k]] = _solve_upper_dense(u_block[:k, :k], rhs, unit=False)
-    return x
+        _solve_upper_inplace(u_block[:k, :k], rhs, False)
+        x[rows[:k]] = rhs
+    return x[:, 0] if was_vector else x

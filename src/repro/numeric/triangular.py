@@ -2,7 +2,11 @@
 
 Once L (and U) are computed, solving Ax = b is two sparse triangular
 substitutions.  These run column-at-a-time over CSC factors; they are
-O(nnz(L)) and validated against dense solves in tests.
+O(nnz(L)) per right-hand side and validated against dense solves in tests.
+
+Right-hand sides may be a vector or an (n, k) panel: each column of the
+factor is applied to all k right-hand sides at once (a rank-1 panel
+update), so k systems cost one sweep over the factor instead of k.
 """
 
 from __future__ import annotations
@@ -12,14 +16,24 @@ import numpy as np
 from repro.sparse.csc import CSCMatrix
 
 
+def _as_panel(b: np.ndarray, n: int, context: str
+              ) -> tuple[np.ndarray, bool]:
+    y = np.array(b, dtype=np.float64, copy=True)
+    if y.shape[0] != n:
+        raise ValueError(f"dimension mismatch in {context}")
+    if y.ndim == 1:
+        return y.reshape(-1, 1), True
+    if y.ndim != 2:
+        raise ValueError(f"{context}: b must be a vector or (n, k) array")
+    return y, False
+
+
 def solve_lower_csc(
     lower: CSCMatrix, b: np.ndarray, unit_diagonal: bool = False
 ) -> np.ndarray:
-    """Solve L y = b by forward substitution (L lower-triangular CSC)."""
+    """Solve L Y = B by forward substitution (L lower-triangular CSC)."""
     n = lower.n_cols
-    y = np.array(b, dtype=np.float64, copy=True)
-    if y.shape[0] != n:
-        raise ValueError("dimension mismatch in forward solve")
+    y, was_vector = _as_panel(b, n, "forward solve")
     for j in range(n):
         rows = lower.col_rows(j)
         vals = lower.col_vals(j)
@@ -28,35 +42,35 @@ def solve_lower_csc(
         if not unit_diagonal:
             y[j] /= vals[0]
         if len(rows) > 1:
-            y[rows[1:]] -= vals[1:] * y[j]
-    return y
+            y[rows[1:]] -= np.outer(vals[1:], y[j])
+    return y[:, 0] if was_vector else y
 
 
 def solve_upper_csc(upper_as_lower: CSCMatrix, b: np.ndarray,
                     unit_diagonal: bool = False) -> np.ndarray:
-    """Solve L^T x = y given L in CSC (i.e. an upper solve via L's columns).
+    """Solve L^T X = Y given L in CSC (i.e. an upper solve via L's columns).
 
     Uses the dot-product (up-looking) form: processing columns of L in
     reverse order computes rows of L^T.
     """
     n = upper_as_lower.n_cols
-    x = np.array(b, dtype=np.float64, copy=True)
+    x, was_vector = _as_panel(b, n, "backward solve")
     for j in range(n - 1, -1, -1):
         rows = upper_as_lower.col_rows(j)
         vals = upper_as_lower.col_vals(j)
         if len(rows) == 0 or rows[0] != j:
             raise ValueError(f"missing diagonal in column {j}")
         if len(rows) > 1:
-            x[j] -= np.dot(vals[1:], x[rows[1:]])
+            x[j] -= vals[1:] @ x[rows[1:]]
         if not unit_diagonal:
             x[j] /= vals[0]
-    return x
+    return x[:, 0] if was_vector else x
 
 
 def solve_upper_csc_direct(upper: CSCMatrix, b: np.ndarray) -> np.ndarray:
-    """Solve U x = b with U stored directly as upper-triangular CSC."""
+    """Solve U X = B with U stored directly as upper-triangular CSC."""
     n = upper.n_cols
-    x = np.array(b, dtype=np.float64, copy=True)
+    x, was_vector = _as_panel(b, n, "backward solve")
     for j in range(n - 1, -1, -1):
         rows = upper.col_rows(j)
         vals = upper.col_vals(j)
@@ -64,5 +78,5 @@ def solve_upper_csc_direct(upper: CSCMatrix, b: np.ndarray) -> np.ndarray:
             raise ValueError(f"missing diagonal in column {j}")
         x[j] /= vals[-1]
         if len(rows) > 1:
-            x[rows[:-1]] -= vals[:-1] * x[j]
-    return x
+            x[rows[:-1]] -= np.outer(vals[:-1], x[j])
+    return x[:, 0] if was_vector else x

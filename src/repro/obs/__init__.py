@@ -29,7 +29,14 @@ from repro.obs.artifact import (
     render_diff,
 )
 from repro.obs.log import setup_logging, verbosity_to_level
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
 from repro.obs.spans import (
     Span,
     Tracer,
@@ -44,6 +51,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "global_registry",
+    "reset_global_registry",
     "Span",
     "Tracer",
     "span",

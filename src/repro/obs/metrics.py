@@ -194,3 +194,27 @@ class MetricsRegistry:
             else:
                 flat[name] = inst.value
         return flat
+
+
+# -- process-global registry --------------------------------------------------
+#
+# The simulator builds one registry per run; library code that runs outside
+# any simulation (the numeric engine, the analysis cache) instead reports
+# into this process-global registry, which CLI commands snapshot into run
+# artifacts.  Hot paths aggregate locally and export once per operation, so
+# the global registry costs a handful of attribute updates per
+# factorization, not per pivot.
+
+_global_registry = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-global registry (numeric engine, caches, solves)."""
+    return _global_registry
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Swap in a fresh global registry (tests / CLI run isolation)."""
+    global _global_registry
+    _global_registry = MetricsRegistry()
+    return _global_registry

@@ -20,6 +20,8 @@ The one-call entry point is :func:`symbolic_factorize`.
 from repro.symbolic.etree import (
     elimination_tree,
     etree_children,
+    etree_heights,
+    etree_level_sets,
     etree_levels,
     postorder,
 )
@@ -33,6 +35,8 @@ from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
 __all__ = [
     "elimination_tree",
     "etree_children",
+    "etree_heights",
+    "etree_level_sets",
     "etree_levels",
     "postorder",
     "column_structures",

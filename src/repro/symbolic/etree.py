@@ -138,3 +138,21 @@ def etree_heights(parent: np.ndarray) -> np.ndarray:
         if p != NO_PARENT:
             heights[p] = max(heights[p], heights[j] + 1)
     return heights
+
+
+def etree_level_sets(parent: np.ndarray) -> list[np.ndarray]:
+    """Height-grouped level sets for level-scheduled parallel traversal.
+
+    ``result[h]`` holds the vertices at height ``h`` above the leaves, in
+    ascending index order.  Every vertex's children live in strictly lower
+    levels, so processing levels in order with a barrier between them
+    satisfies all elimination-tree dependences; vertices *within* a level
+    are mutually independent and may run concurrently.  This is the
+    schedule the level-scheduled multifrontal factorization dispatches to
+    its worker pool (and the batching structure of GPU solvers, Figure 8).
+    """
+    if len(parent) == 0:
+        return []
+    heights = etree_heights(parent)
+    return [np.flatnonzero(heights == h)
+            for h in range(int(heights.max()) + 1)]
