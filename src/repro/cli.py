@@ -10,7 +10,10 @@ Commands:
   ``--metrics`` run-artifact JSON with spans + component counters);
 * ``compare``  — Spatula vs the GPU/CPU baseline models on one matrix;
 * ``report``   — pretty-print a run artifact, or ``--diff`` two artifacts
-  and exit non-zero when a watched metric regresses past ``--threshold``.
+  and exit non-zero when a watched metric regresses past ``--threshold``;
+* ``verify``   — seeded, time-budgeted differential fuzzing campaign
+  (cross-configuration agreement + oracle checks; failing cases are
+  shrunk to replayable JSON repros, replayed with ``--replay``).
 
 Global flags (before the command): ``-v``/``-vv`` or ``--log-level`` turn
 on stdlib logging from the whole stack.
@@ -121,12 +124,13 @@ def cmd_solve(args) -> int:
                               block_size=args.block_size)
         rng = np.random.default_rng(args.seed)
         if args.refine:
-            if args.rhs != 1:
-                raise ValueError("--refine supports a single right-hand "
-                                 "side")
-            b = rng.standard_normal(matrix.n_rows)
+            shape = (matrix.n_rows, args.rhs) if args.rhs > 1 \
+                else matrix.n_rows
+            b = rng.standard_normal(shape)
             result = solver.solve_refined(matrix, b)
-            print(f"residual {result.residual_norm:.3e} after "
+            label = f" over {args.rhs} right-hand sides" \
+                if args.rhs > 1 else ""
+            print(f"residual {result.residual_norm:.3e}{label} after "
                   f"{result.iterations} refinement sweep(s)")
         elif args.rhs > 1:
             b = rng.standard_normal((matrix.n_rows, args.rhs))
@@ -245,6 +249,45 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import (
+        VerifyConfig,
+        campaign_artifact,
+        load_repro,
+        replay_repro,
+        run_verification,
+    )
+
+    if args.replay:
+        repro = load_repro(args.replay)
+        result = replay_repro(args.replay)
+        print(f"replaying {repro.case} (n={repro.n}, kind={repro.kind}, "
+              f"original axes: {', '.join(repro.axes)})")
+        if result.failed:
+            for m in result.mismatches:
+                print(f"  MISMATCH [{m.axis}] {m.detail}")
+            return 1
+        print("  no mismatch: the failing case no longer reproduces")
+        return 0
+
+    config = VerifyConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        max_cases=args.cases,
+        max_n=args.max_n,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+    )
+    summary = run_verification(config)
+    print(summary.render())
+    if args.metrics:
+        artifact = campaign_artifact(summary, config)
+        artifact.save(args.metrics)
+        print(f"wrote run artifact to {args.metrics} "
+              f"({len(artifact.metrics)} metrics)")
+    return 0 if summary.ok else 1
+
+
 def cmd_compare(args) -> int:
     matrix, kind, ordering = load_matrix(args.matrix)
     kind = args.kind or kind
@@ -339,6 +382,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_matrix_arg(p_cmp)
     add_config_args(p_cmp)
 
+    p_ver = sub.add_parser(
+        "verify", help="differential fuzzing campaign (cross-config + "
+                       "oracle checks, shrinks failures to JSON repros)"
+    )
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; the case sequence is a pure "
+                            "function of it (default 0)")
+    p_ver.add_argument("--budget", type=float, default=60.0,
+                       help="time budget in seconds (default 60)")
+    p_ver.add_argument("--cases", type=int, default=None,
+                       help="hard cap on the number of cases")
+    p_ver.add_argument("--max-n", type=int, default=48,
+                       help="largest generated matrix dimension "
+                            "(default 48)")
+    p_ver.add_argument("--out", default="repros", metavar="DIR",
+                       help="directory for shrunk failing-case JSONs "
+                            "(default: repros/)")
+    p_ver.add_argument("--no-shrink", action="store_true",
+                       help="report mismatches without minimizing them")
+    p_ver.add_argument("--metrics", metavar="FILE", default=None,
+                       help="write a run-artifact JSON (verify.* counters)")
+    p_ver.add_argument("--replay", metavar="FILE", default=None,
+                       help="re-run a shrunk failing-case JSON instead of "
+                            "fuzzing")
+
     p_rep = sub.add_parser(
         "report", help="pretty-print or diff run artifacts"
     )
@@ -361,6 +429,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "compare": cmd_compare,
     "report": cmd_report,
+    "verify": cmd_verify,
 }
 
 

@@ -45,7 +45,9 @@ def iterative_refinement(
         matrix: the original matrix A.
         solve: a callable computing an (approximate) solution of A y = r —
             typically ``SparseSolver.solve``.
-        b: right-hand side.
+        b: right-hand side — a vector of length n or an (n, k) panel of
+            k right-hand sides (refined together; norms are Frobenius, so
+            convergence is judged across the whole panel).
         max_iterations: refinement sweep limit.
         tolerance: stop when the relative residual drops below this.
 
@@ -53,6 +55,8 @@ def iterative_refinement(
         the refined solution plus convergence diagnostics.
     """
     b = np.asarray(b, dtype=np.float64)
+    if b.ndim not in (1, 2):
+        raise ValueError("b must be a vector or an (n, k) panel")
     b_norm = float(np.linalg.norm(b)) or 1.0
     x = solve(b)
     history: list[float] = []

@@ -239,6 +239,16 @@ class SparseSolver:
                                     max_iterations=max_iterations,
                                     tolerance=tolerance)
 
+    def factor_csc(self) -> tuple[CSCMatrix, CSCMatrix | None]:
+        """The numeric factor of the permuted matrix as CSC.
+
+        Returns ``(L, None)`` for Cholesky and ``(L, U)`` for LU.  Used by
+        the differential-verification subsystem for exact (bit-level)
+        factor comparison across configurations.
+        """
+        self._ensure_csc()
+        return self._lower, self._upper
+
     def residual_norm(self, matrix: CSCMatrix, x: np.ndarray,
                       b: np.ndarray) -> float:
         """Relative residual ||Ax - b|| / ||b|| for verification."""

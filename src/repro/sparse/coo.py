@@ -83,6 +83,20 @@ class COOMatrix:
             self.n_rows, self.n_cols, rows[first], cols[first], summed
         )
 
+    def to_csc(self):
+        """Canonical COO -> CSC conversion.
+
+        Duplicate coordinates are *summed* (finite-element assembly
+        convention) and row indices end up sorted within each column.
+        Every conversion path in the repo — this method,
+        :meth:`CSCMatrix.from_coo`, :meth:`to_dense` — agrees on these
+        semantics; entries whose duplicates sum to exactly zero are kept
+        as explicit zeros (the pattern is structural, not numeric).
+        """
+        from repro.sparse.csc import CSCMatrix
+
+        return CSCMatrix.from_coo(self)
+
     def transpose(self) -> "COOMatrix":
         """Return the transpose (entries swapped, no copy of values)."""
         return COOMatrix(

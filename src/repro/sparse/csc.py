@@ -127,14 +127,23 @@ class CSCMatrix:
         return CSCMatrix.from_coo(self.to_coo().transpose())
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Compute A @ x."""
+        """Compute ``A @ x`` for a vector or an (n, k) panel of vectors."""
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim not in (1, 2):
+            raise ValueError("matvec operand must be 1-D or 2-D")
         if x.shape[0] != self.n_cols:
             raise ValueError("dimension mismatch in matvec")
-        y = np.zeros(self.n_rows)
+        if x.ndim == 1:
+            y = np.zeros(self.n_rows)
+            for j in range(self.n_cols):
+                if x[j] != 0.0:
+                    y[self.col_rows(j)] += self.col_vals(j) * x[j]
+            return y
+        y = np.zeros((self.n_rows, x.shape[1]))
         for j in range(self.n_cols):
-            if x[j] != 0.0:
-                y[self.col_rows(j)] += self.col_vals(j) * x[j]
+            xj = x[j]
+            if np.any(xj):
+                y[self.col_rows(j)] += self.col_vals(j)[:, None] * xj
         return y
 
     def permuted(self, perm: np.ndarray) -> "CSCMatrix":

@@ -83,8 +83,16 @@ def write_matrix_market(
     If ``symmetric`` is true, only the lower triangle is written and the
     header declares symmetric storage (the caller asserts the matrix is
     numerically symmetric).
+
+    Duplicate coordinates are summed before writing: MatrixMarket
+    consumers are not required to sum duplicates, so emitting them raw
+    would make the file's meaning reader-dependent (and its declared nnz
+    count duplicates).  Canonical output keeps the read/write round trip
+    an exact identity under :meth:`COOMatrix.to_csc` semantics.
     """
-    mat = matrix.lower_triangle() if symmetric else matrix
+    mat = matrix.deduplicated()
+    if symmetric:
+        mat = mat.lower_triangle()
     symmetry = "symmetric" if symmetric else "general"
     with open(path, "w") as f:
         f.write(f"%%MatrixMarket matrix coordinate real {symmetry}\n")

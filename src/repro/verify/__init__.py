@@ -1,0 +1,80 @@
+"""Differential verification and fuzzing subsystem.
+
+Three independent implementations of the same factorization math live in
+this repo — the parallel blocked numeric engine, the functional
+multifrontal/tile model, and the cycle-level Spatula simulator — plus
+external oracles (scipy, dense LAPACK).  This package systematically
+checks that they all agree:
+
+* :mod:`repro.verify.generators` — adversarial matrix fuzzing;
+* :mod:`repro.verify.oracle` — reference solves and conditioning-aware
+  tolerances;
+* :mod:`repro.verify.differential` — one case swept across orderings,
+  worker counts, block sizes, kinds, refactorization, and RHS shapes;
+* :mod:`repro.verify.shrink` — failing-case minimization + replayable
+  JSON repros;
+* :mod:`repro.verify.runner` — seeded, time-budgeted campaigns wired
+  into the metrics registry (``repro verify`` on the CLI).
+"""
+
+from repro.verify.differential import (
+    CaseResult,
+    Mismatch,
+    SweepAxes,
+    factor_fingerprint,
+    run_case,
+)
+from repro.verify.generators import (
+    FuzzCase,
+    build_case,
+    case_stream,
+    family_names,
+)
+from repro.verify.oracle import (
+    backward_error,
+    backward_tolerance,
+    check_against_oracle,
+    condition_estimate,
+    forward_tolerance,
+    oracle_solve,
+)
+from repro.verify.runner import (
+    VerifyConfig,
+    VerifySummary,
+    campaign_artifact,
+    run_verification,
+)
+from repro.verify.shrink import (
+    Repro,
+    failure_predicate,
+    load_repro,
+    replay_repro,
+    shrink_matrix,
+)
+
+__all__ = [
+    "CaseResult",
+    "FuzzCase",
+    "Mismatch",
+    "Repro",
+    "SweepAxes",
+    "VerifyConfig",
+    "VerifySummary",
+    "backward_error",
+    "backward_tolerance",
+    "build_case",
+    "campaign_artifact",
+    "case_stream",
+    "check_against_oracle",
+    "condition_estimate",
+    "factor_fingerprint",
+    "failure_predicate",
+    "family_names",
+    "forward_tolerance",
+    "load_repro",
+    "oracle_solve",
+    "replay_repro",
+    "run_case",
+    "run_verification",
+    "shrink_matrix",
+]

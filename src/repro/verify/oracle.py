@@ -1,0 +1,153 @@
+"""Reference oracles and conditioning-aware tolerances.
+
+Differential checks need a ground truth and a principled notion of "how
+wrong is too wrong".  Both are conditioning-dependent:
+
+* the **backward error** ``||Ax - b|| / (||A|| ||x|| + ||b||)`` of a
+  backward-stable direct solve is O(n * eps) *independent* of the
+  conditioning — it is the primary correctness signal, valid even for
+  near-singular inputs;
+* the **forward error** against an independent oracle (scipy ``splu`` when
+  available, dense LAPACK otherwise) degrades like ``cond(A) * eps`` and
+  is only asserted while the conditioning leaves meaningful digits.
+
+scipy is optional: when absent, the dense-LAPACK path (exercising none of
+our sparse code) still provides an independent reference for the small
+matrices the fuzzer produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+try:  # pragma: no cover - exercised implicitly by every oracle call
+    import scipy.sparse as _sp
+    import scipy.sparse.linalg as _spla
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _sp = None
+    _spla = None
+    HAVE_SCIPY = False
+
+_EPS = float(np.finfo(np.float64).eps)
+
+# Forward-error comparisons stop being meaningful once cond * eps
+# approaches 1; beyond this, only backward error is asserted.
+COND_CLIFF = 1e12
+
+
+def condition_estimate(matrix: CSCMatrix, cap_n: int = 600) -> float:
+    """2-norm condition number estimate (dense; ``inf`` when too large
+    to materialize or numerically singular)."""
+    if matrix.n_rows > cap_n:
+        return float("inf")
+    try:
+        return float(np.linalg.cond(matrix.to_dense()))
+    except np.linalg.LinAlgError:
+        return float("inf")
+
+
+def oracle_solve(matrix: CSCMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` with an implementation independent of this
+    repo's factorization stack (scipy splu, else dense LAPACK)."""
+    if HAVE_SCIPY:
+        a = _sp.csc_matrix(
+            (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+        )
+        return _spla.splu(a).solve(np.asarray(b, dtype=np.float64))
+    return np.linalg.solve(matrix.to_dense(), b)
+
+
+def oracle_factor_nnz(matrix: CSCMatrix, kind: str) -> int | None:
+    """Factor nonzero count from scipy (L + U of splu); ``None`` when
+    scipy is unavailable."""
+    if not HAVE_SCIPY:
+        return None
+    a = _sp.csc_matrix(
+        (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+    )
+    lu = _spla.splu(a)
+    return int(lu.L.nnz + lu.U.nnz)
+
+
+def backward_error(matrix: CSCMatrix, x: np.ndarray,
+                   b: np.ndarray) -> float:
+    """Normwise backward error ``||Ax-b|| / (||A|| ||x|| + ||b||)``.
+
+    Accepts single vectors or (n, k) panels (Frobenius norms).
+    """
+    r = matrix.matvec(x) - b
+    a_norm = float(np.abs(matrix.data).max()) * matrix.n_rows \
+        if matrix.nnz else 0.0
+    denom = a_norm * float(np.linalg.norm(x)) + float(np.linalg.norm(b))
+    if denom == 0.0:
+        return float(np.linalg.norm(r))
+    return float(np.linalg.norm(r)) / denom
+
+
+def backward_tolerance(n: int, perturbed: bool = False) -> float:
+    """Backward-error acceptance threshold.
+
+    Backward-stable elimination gives O(n * eps); static-pivoting
+    perturbation intentionally trades ``sqrt(eps)``-level residual for a
+    static task graph, so perturbed LU gets the wider budget.
+    """
+    base = 64.0 * max(4, n) * _EPS
+    if perturbed:
+        return max(base, 1e4 * np.sqrt(_EPS))
+    return base
+
+
+def forward_tolerance(cond: float, n: int) -> float:
+    """Acceptance threshold for relative differences between two
+    *independently computed* solutions of the same system."""
+    return 1e3 * max(4, n) * _EPS * max(1.0, cond)
+
+
+@dataclass
+class OracleCheck:
+    """Result of checking one solution against the oracle."""
+
+    cond: float
+    backward: float
+    backward_tol: float
+    forward: float | None
+    forward_tol: float | None
+    ok: bool
+    detail: str = ""
+
+
+def check_against_oracle(matrix: CSCMatrix, x: np.ndarray, b: np.ndarray,
+                         perturbed: bool = False,
+                         cond: float | None = None) -> OracleCheck:
+    """Compare a solve result against the independent oracle.
+
+    Backward error is always asserted; forward error only below the
+    conditioning cliff (and only for single right-hand sides).
+    """
+    if cond is None:
+        cond = condition_estimate(matrix)
+    bwd = backward_error(matrix, x, b)
+    bwd_tol = backward_tolerance(matrix.n_rows, perturbed=perturbed)
+    fwd = fwd_tol = None
+    ok = bwd <= bwd_tol
+    detail = "" if ok else (
+        f"backward error {bwd:.3e} exceeds {bwd_tol:.3e}"
+    )
+    if ok and np.ndim(x) == 1 and np.isfinite(cond) and cond < COND_CLIFF:
+        ref = oracle_solve(matrix, b)
+        scale = float(np.linalg.norm(ref)) or 1.0
+        fwd = float(np.linalg.norm(x - ref)) / scale
+        fwd_tol = forward_tolerance(cond, matrix.n_rows)
+        if fwd > fwd_tol:
+            ok = False
+            detail = (f"forward error vs oracle {fwd:.3e} exceeds "
+                      f"{fwd_tol:.3e} (cond {cond:.2e})")
+    return OracleCheck(cond=cond, backward=bwd, backward_tol=bwd_tol,
+                       forward=fwd, forward_tol=fwd_tol, ok=ok,
+                       detail=detail)

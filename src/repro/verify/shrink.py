@@ -1,0 +1,282 @@
+"""Failing-case minimization and replayable JSON repros.
+
+When the differential runner finds a mismatch, the raw failing matrix is
+usually far bigger than the bug needs.  :func:`shrink_case` greedily
+minimizes it while the failure predicate keeps holding, delta-debugging
+style:
+
+1. **shrink n** — drop blocks of row/column indices (principal
+   submatrix), halving block sizes down to single indices;
+2. **sparsify** — drop off-diagonal entries (in symmetric pairs when the
+   pattern is symmetric), chunked then one-by-one;
+3. **simplify values** — round surviving values to a few significant
+   digits so the repro is human-readable.
+
+The result is serialized as a small self-contained JSON file that
+:func:`replay_repro` reloads and re-runs through the same differential
+sweep — a failing fuzz campaign leaves behind executable evidence, not a
+log line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.verify.differential import (
+    CaseResult,
+    SweepAxes,
+    equivalent_axes,
+    run_case,
+)
+from repro.verify.generators import FuzzCase
+
+REPRO_SCHEMA_VERSION = 1
+
+Predicate = Callable[[CSCMatrix], bool]
+
+
+def principal_submatrix(matrix: CSCMatrix, keep: np.ndarray) -> CSCMatrix:
+    """The principal submatrix on the (sorted) kept indices."""
+    keep = np.asarray(keep, dtype=np.int64)
+    coo = matrix.to_coo()
+    pos = np.full(matrix.n_rows, -1, dtype=np.int64)
+    pos[keep] = np.arange(len(keep))
+    sel = (pos[coo.rows] >= 0) & (pos[coo.cols] >= 0)
+    return CSCMatrix.from_coo(COOMatrix(
+        len(keep), len(keep),
+        pos[coo.rows[sel]], pos[coo.cols[sel]], coo.vals[sel],
+    ))
+
+
+def _try(candidate: CSCMatrix, fails: Predicate) -> bool:
+    """Run the predicate, treating any crash as 'does not reproduce'."""
+    try:
+        return bool(fails(candidate))
+    except Exception:
+        return False
+
+
+def _shrink_indices(matrix: CSCMatrix, fails: Predicate,
+                    deadline: float) -> CSCMatrix:
+    """Pass 1: minimize the dimension by dropping index blocks."""
+    current = matrix
+    chunk = max(1, current.n_rows // 2)
+    while chunk >= 1 and time.monotonic() < deadline:
+        progressed = False
+        start = 0
+        while start < current.n_rows and current.n_rows > 1:
+            if time.monotonic() >= deadline:
+                break
+            end = min(current.n_rows, start + chunk)
+            keep = np.concatenate([
+                np.arange(0, start), np.arange(end, current.n_rows)
+            ])
+            if len(keep) == 0:
+                start = end
+                continue
+            candidate = principal_submatrix(current, keep)
+            if _try(candidate, fails):
+                current = candidate
+                progressed = True
+                # Same start now addresses the next surviving block.
+            else:
+                start = end
+        if not progressed or chunk == 1:
+            chunk //= 2
+    return current
+
+
+def _shrink_entries(matrix: CSCMatrix, fails: Predicate,
+                    deadline: float) -> CSCMatrix:
+    """Pass 2: drop off-diagonal entries while the failure persists."""
+    current = matrix
+    symmetric = current.is_structurally_symmetric()
+    while time.monotonic() < deadline:
+        coo = current.to_coo()
+        off = np.flatnonzero(coo.rows != coo.cols)
+        if symmetric:
+            # Treat each (i, j)/(j, i) pair as one droppable unit.
+            off = off[coo.rows[off] > coo.cols[off]]
+        progressed = False
+        for k in off:
+            if time.monotonic() >= deadline:
+                break
+            drop = {(int(coo.rows[k]), int(coo.cols[k]))}
+            if symmetric:
+                drop.add((int(coo.cols[k]), int(coo.rows[k])))
+            sel = np.array([
+                (int(r), int(c)) not in drop
+                for r, c in zip(coo.rows, coo.cols)
+            ])
+            candidate = CSCMatrix.from_coo(COOMatrix(
+                coo.n_rows, coo.n_cols,
+                coo.rows[sel], coo.cols[sel], coo.vals[sel],
+            ))
+            if _try(candidate, fails):
+                current = candidate
+                progressed = True
+                break  # re-enumerate against the shrunk matrix
+        if not progressed:
+            break
+    return current
+
+
+def _simplify_values(matrix: CSCMatrix, fails: Predicate,
+                     deadline: float) -> CSCMatrix:
+    """Pass 3: round values to few significant digits where possible."""
+    current = matrix
+    for digits in (1, 2, 4, 8):
+        if time.monotonic() >= deadline:
+            break
+        coo = current.to_coo()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mag = np.where(coo.vals != 0.0,
+                           np.floor(np.log10(np.abs(coo.vals))), 0.0)
+        rounded = np.round(coo.vals / 10.0 ** mag, digits) * 10.0 ** mag
+        candidate = CSCMatrix.from_coo(COOMatrix(
+            coo.n_rows, coo.n_cols, coo.rows, coo.cols, rounded,
+        ))
+        if _try(candidate, fails):
+            return candidate
+    return current
+
+
+def shrink_matrix(matrix: CSCMatrix, fails: Predicate,
+                  max_seconds: float = 30.0) -> CSCMatrix:
+    """Greedily minimize a failing matrix under a failure predicate.
+
+    ``fails(matrix)`` must be True on entry; the returned matrix still
+    satisfies it.  The search is time-boxed, deterministic, and purely
+    reductive (dimension, then entries, then value complexity).
+    """
+    if not _try(matrix, fails):
+        raise ValueError("shrink_matrix needs a failing input to start from")
+    deadline = time.monotonic() + max_seconds
+    current = _shrink_indices(matrix, fails, deadline)
+    current = _shrink_entries(current, fails, deadline)
+    current = _simplify_values(current, fails, deadline)
+    return current
+
+
+# -- replayable repro files ----------------------------------------------------
+
+
+@dataclass
+class Repro:
+    """A self-contained, replayable failing case."""
+
+    case: str
+    family: str
+    kind: str
+    seed: int
+    expect: str
+    hard: bool
+    n: int
+    rows: list[int]
+    cols: list[int]
+    vals: list[float]
+    axes: list[str]
+    mismatches: list[dict] = field(default_factory=list)
+    original_n: int = 0
+    schema_version: int = REPRO_SCHEMA_VERSION
+    created_at: str = ""
+
+    @classmethod
+    def from_failure(cls, result: CaseResult,
+                     shrunk: CSCMatrix) -> "Repro":
+        coo = shrunk.to_coo()
+        case = result.case
+        return cls(
+            case=case.name, family=case.family, kind=case.kind,
+            seed=case.seed, expect=case.expect, hard=case.hard,
+            n=shrunk.n_rows,
+            rows=[int(r) for r in coo.rows],
+            cols=[int(c) for c in coo.cols],
+            vals=[float(v) for v in coo.vals],
+            axes=sorted({m.axis for m in result.mismatches}),
+            mismatches=[m.to_dict() for m in result.mismatches],
+            original_n=case.matrix.n_rows,
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+
+    def matrix(self) -> CSCMatrix:
+        return CSCMatrix.from_coo(COOMatrix(
+            self.n, self.n,
+            np.asarray(self.rows, dtype=np.int64),
+            np.asarray(self.cols, dtype=np.int64),
+            np.asarray(self.vals, dtype=np.float64),
+        ))
+
+    def fuzz_case(self) -> FuzzCase:
+        return FuzzCase(
+            name=f"replay:{self.case}", family=self.family,
+            matrix=self.matrix(), kind=self.kind, seed=self.seed,
+            expect=self.expect, hard=self.hard,
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(asdict(self), f, indent=1)
+        return path
+
+
+def load_repro(path: str | Path) -> Repro:
+    with open(path) as f:
+        data = json.load(f)
+    version = data.get("schema_version")
+    if version != REPRO_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: repro schema_version {version!r} is not supported "
+            f"(expected {REPRO_SCHEMA_VERSION})"
+        )
+    return Repro(**data)
+
+
+def replay_repro(path: str | Path,
+                 axes: SweepAxes | None = None) -> CaseResult:
+    """Re-run a shrunk failing case through the differential sweep."""
+    return run_case(load_repro(path).fuzz_case(), axes=axes)
+
+
+def failure_predicate(case: FuzzCase,
+                      axes: SweepAxes | None = None,
+                      match_axes: set[str] | None = None) -> Predicate:
+    """Predicate for shrinking: does this matrix still reproduce (one of)
+    the original mismatch axes?
+
+    Axes are matched up to :func:`equivalent_axes` groups — shrinking
+    routinely moves a numeric disagreement between, say, the ``ordering``
+    and ``oracle`` checks, and either one is the same underlying bug.
+    Without ``match_axes`` any mismatch counts, *except* that an
+    expect-ok case is never allowed to shrink into an everywhere-rejected
+    matrix (that degenerates to trivially non-SPD inputs, not the bug).
+    """
+    sweep = axes or SweepAxes.quick()
+    wanted = equivalent_axes(match_axes) if match_axes is not None else None
+
+    def fails(matrix: CSCMatrix) -> bool:
+        candidate = FuzzCase(
+            name=case.name, family=case.family, matrix=matrix,
+            kind=case.kind, seed=case.seed, expect=case.expect,
+            hard=case.hard,
+        )
+        result = run_case(candidate, axes=sweep)
+        if not result.mismatches:
+            return False
+        if wanted is not None:
+            return any(m.axis in wanted for m in result.mismatches)
+        if case.expect == "ok" and result.outcome == "rejected":
+            return False
+        return True
+
+    return fails

@@ -135,3 +135,100 @@ class TestTransforms:
         inverse[perm] = np.arange(6)
         back = m.permuted(perm).permuted(inverse)
         assert np.allclose(back.to_dense(), dense)
+
+
+class TestDuplicateSemantics:
+    """Duplicate coordinates mean "sum the entries" (finite-element
+    assembly convention) on every conversion path, and duplicates that
+    sum to exactly zero stay as explicit structural zeros."""
+
+    def dup(self):
+        # (0,0): 1+2=3; (1,0): 5-5=0 (structural zero); (2,1): single.
+        return COOMatrix(3, 3, [0, 0, 1, 1, 2], [0, 0, 0, 0, 1],
+                         [1.0, 2.0, 5.0, -5.0, 4.0])
+
+    def test_to_csc_sums_duplicates(self):
+        csc = self.dup().to_csc()
+        dense = csc.to_dense()
+        assert dense[0, 0] == 3.0
+        assert dense[2, 1] == 4.0
+
+    def test_zero_sum_duplicates_stay_structural(self):
+        csc = self.dup().to_csc()
+        # Three stored entries: (0,0), the explicit zero at (1,0), (2,1).
+        assert csc.nnz == 3
+        assert 1 in csc.col_rows(0)
+        assert csc.to_dense()[1, 0] == 0.0
+
+    def test_to_csc_matches_from_coo_exactly(self):
+        from repro.sparse.csc import CSCMatrix
+
+        coo = self.dup()
+        a, b = coo.to_csc(), CSCMatrix.from_coo(coo)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+
+    def test_all_paths_agree_on_fuzzer_input(self):
+        from repro.verify.generators import duplicate_entry_coo
+
+        rng = np.random.default_rng(21)
+        coo, reference = duplicate_entry_coo(rng, 8)
+        ref = reference.to_dense()
+        tol = dict(rtol=0.0, atol=16 * np.finfo(np.float64).eps)
+        assert np.allclose(coo.to_dense(), ref, **tol)
+        assert np.allclose(coo.to_csc().to_dense(), ref, **tol)
+        assert np.allclose(coo.deduplicated().to_dense(), ref, **tol)
+
+    def test_transforms_commute_with_deduplication(self, rng):
+        from repro.verify.generators import duplicate_entry_coo
+
+        coo, _ = duplicate_entry_coo(np.random.default_rng(22), 7)
+        dedup = coo.deduplicated()
+        perm = rng.permutation(7)
+        pairs = [
+            (coo.permuted(perm), dedup.permuted(perm)),
+            (coo.symmetrized(), dedup.symmetrized()),
+            (coo.lower_triangle(), dedup.lower_triangle()),
+            (coo.transpose(), dedup.transpose()),
+        ]
+        for with_dups, without in pairs:
+            assert np.allclose(with_dups.to_dense(), without.to_dense(),
+                               rtol=0.0, atol=1e-13)
+
+    def test_matrix_market_roundtrip_deduplicates(self, tmp_path):
+        from repro.sparse.io import read_matrix_market, write_matrix_market
+
+        coo = self.dup()
+        path = tmp_path / "dup.mtx"
+        write_matrix_market(path, coo)
+        back = read_matrix_market(path)
+        # The file is canonical: no duplicate coordinates, and the
+        # declared nnz is the deduplicated count.
+        assert back.nnz == coo.deduplicated().nnz
+        keys = set(zip(back.rows.tolist(), back.cols.tolist()))
+        assert len(keys) == back.nnz
+        assert np.allclose(back.to_dense(), coo.to_dense())
+
+    def test_matrix_market_symmetric_roundtrip_with_duplicates(self,
+                                                               tmp_path):
+        from repro.sparse.io import read_matrix_market, write_matrix_market
+        from repro.verify.generators import duplicate_entry_coo
+
+        coo, reference = duplicate_entry_coo(np.random.default_rng(23), 6)
+        path = tmp_path / "sym.mtx"
+        write_matrix_market(path, coo, symmetric=True)
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), reference.to_dense(),
+                           rtol=0.0, atol=1e-13)
+
+    def test_solver_agrees_with_deduplicated_reference(self):
+        from repro.numeric import SparseSolver
+        from repro.verify.generators import duplicate_entry_coo
+
+        rng = np.random.default_rng(24)
+        coo, reference = duplicate_entry_coo(rng, 10)
+        b = rng.standard_normal(10)
+        x_dup = SparseSolver(coo.to_csc(), kind="cholesky").solve(b)
+        x_ref = SparseSolver(reference, kind="cholesky").solve(b)
+        assert np.allclose(x_dup, x_ref, rtol=1e-10, atol=1e-12)

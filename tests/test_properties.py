@@ -18,12 +18,27 @@ from repro.symbolic.etree import elimination_tree, postorder, NO_PARENT
 from repro.symbolic.structure import column_structures
 from repro.symbolic.tiling import TileGrid, tile_index
 from repro.symbolic import symbolic_factorize
+from repro.verify.generators import (
+    duplicate_entry_coo,
+    ill_conditioned_spd,
+    near_singular_spd,
+    random_spd as fuzz_random_spd,
+)
+from repro.verify.oracle import backward_error, backward_tolerance
 
 
 # -- strategies ----------------------------------------------------------------
+#
+# SPD strategies delegate to the shared fuzzer builders in
+# repro.verify.generators (hypothesis draws the size/seed/conditioning
+# knobs); sizes are deliberately larger than the original hand-rolled
+# strategies, with explicit per-test @settings so tier-1 stays fast.
+# ``deadline=None`` is set explicitly everywhere: individual examples
+# include factorizations whose first-call cost (analysis cache warmup)
+# would otherwise trip hypothesis's per-example deadline on slow CI.
 
 @st.composite
-def coo_matrices(draw, max_n=8, square=True):
+def coo_matrices(draw, max_n=12, square=True):
     n_rows = draw(st.integers(1, max_n))
     n_cols = n_rows if square else draw(st.integers(1, max_n))
     nnz = draw(st.integers(0, n_rows * n_cols))
@@ -39,17 +54,30 @@ def coo_matrices(draw, max_n=8, square=True):
 
 
 @st.composite
-def spd_matrices(draw, max_n=10):
-    """Random sparse SPD matrices via diagonal dominance."""
+def spd_matrices(draw, max_n=16):
+    """Random sparse SPD matrices (shared fuzzer builder; hypothesis
+    drives size, density, and the generator seed)."""
     n = draw(st.integers(1, max_n))
-    mask = draw(st.lists(st.booleans(), min_size=n * n, max_size=n * n))
-    rng_seed = draw(st.integers(0, 2 ** 16))
-    rng = np.random.default_rng(rng_seed)
-    dense = np.where(np.array(mask).reshape(n, n), rng.uniform(-1, 1,
-                                                               (n, n)), 0.0)
-    dense = (dense + dense.T) / 2
-    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
-    return CSCMatrix.from_dense(dense)
+    density = draw(st.sampled_from([0.1, 0.3, 0.6]))
+    seed = draw(st.integers(0, 2 ** 16))
+    return fuzz_random_spd(np.random.default_rng(seed), n, density=density)
+
+
+@st.composite
+def adversarial_spd_matrices(draw, max_n=16):
+    """SPD matrices across conditioning regimes: well-conditioned,
+    ill-conditioned (symmetric scaling), and near-singular (shifted
+    Laplacian) — the fuzzer families, driven by hypothesis."""
+    n = draw(st.integers(2, max_n))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 16)))
+    family = draw(st.sampled_from(["plain", "ill", "near_singular"]))
+    if family == "ill":
+        return ill_conditioned_spd(
+            rng, n, log_cond=draw(st.sampled_from([4.0, 8.0])))
+    if family == "near_singular":
+        return near_singular_spd(
+            rng, n, shift=10.0 ** draw(st.integers(-9, -6)))
+    return fuzz_random_spd(rng, n)
 
 
 # -- COO / CSC properties ------------------------------------------------------
@@ -141,6 +169,28 @@ def test_solver_residual_always_small(matrix, seed):
     b = np.random.default_rng(seed).standard_normal(matrix.n_rows)
     x = solver.solve(b)
     assert solver.residual_norm(matrix, x, b) < 1e-10
+
+
+@given(adversarial_spd_matrices(), st.integers(0, 2 ** 16))
+@settings(max_examples=25, deadline=None)
+def test_solver_backward_stable_on_adversarial_spd(matrix, seed):
+    """Backward error is O(n * eps) regardless of conditioning — the
+    residual bound above does not hold near the conditioning cliff, but
+    this one must."""
+    solver = SparseSolver(matrix, kind="cholesky")
+    b = np.random.default_rng(seed).standard_normal(matrix.n_rows)
+    x = solver.solve(b)
+    assert backward_error(matrix, x, b) <= backward_tolerance(matrix.n_rows)
+
+
+@given(st.integers(2, 14), st.integers(0, 2 ** 16))
+@settings(max_examples=30, deadline=None)
+def test_duplicate_coo_assembly_matches_reference(n, seed):
+    """Assembly-style duplicated COO input always reduces to its
+    deduplicated reference (up to summation-order roundoff)."""
+    coo, reference = duplicate_entry_coo(np.random.default_rng(seed), n)
+    assert np.allclose(coo.to_csc().to_dense(), reference.to_dense(),
+                       rtol=0.0, atol=1e-13)
 
 
 # -- ordering properties ------------------------------------------------------
