@@ -36,6 +36,11 @@ class PendingTask:
     op_ready: int
     stream_done: int
     latency: int
+    # Cycle the dispatcher placed the task in this slot.  Cycle accounting
+    # (repro.obs.attribution) splits a PE's idle gap at this boundary:
+    # idle before dispatch is dependency/scheduler wait, idle between
+    # dispatch and op_ready is exposed operand (memory-system) wait.
+    dispatched_at: int = 0
 
 
 @dataclass

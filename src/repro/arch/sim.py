@@ -284,6 +284,7 @@ class SpatulaSim:
             op_ready=lead,
             stream_done=max(done_times),
             latency=task_latency(task, cfg),
+            dispatched_at=t0,
         )
         pe.add_pending(item)
         self._schedule_pe_try(pe.index, max(lead, pe.array_free))
@@ -344,6 +345,7 @@ class SpatulaSim:
             self.trace.append(TraceEvent(
                 pe=pe_index, start=now, end=end, ttype=task.ttype.value,
                 sn=item.gen_sn, task_index=item.task_index,
+                dispatch=item.dispatched_at, op_ready=item.op_ready,
             ))
         self._schedule(end, "exec_done",
                        (pe_index, item.gen_sn, item.task_index))
@@ -443,6 +445,12 @@ class SpatulaSim:
             registry.counter(f"pe.{pe.index}.busy_cycles").inc(
                 pe.busy_total
             )
+            registry.counter(f"pe.{pe.index}.port_stall_cycles").inc(
+                pe.port.stall_cycles
+            )
+            registry.counter(f"pe.{pe.index}.wport_stall_cycles").inc(
+                pe.wport.stall_cycles
+            )
             for ttype, cycles in pe.busy_by_type.items():
                 busy[ttype] += cycles
             port_stalls += pe.port.stall_cycles
@@ -462,6 +470,38 @@ class SpatulaSim:
         gen_hist = registry.histogram("generator.peak_outstanding_tasks")
         for peak in self._gen_peak_outstanding:
             gen_hist.observe(peak)
+
+    def attribution(self) -> dict:
+        """Performance attribution for this finished run (schema-v2
+        ``RunArtifact.attribution``): per-PE cycle accounting, what-if
+        estimates, the critical path, and the utilization timeline.
+
+        Requires ``trace=True`` — the decomposition walks the executed
+        timeline's gaps (see :mod:`repro.obs.attribution`).
+        """
+        from repro.arch.trace import utilization_timeline
+        from repro.obs.attribution import attribute_cycles, critical_path
+
+        if self.trace is None:
+            raise ValueError(
+                "attribution needs the execution trace; construct the sim "
+                "with trace=True"
+            )
+        accounting = attribute_cycles(
+            self.trace, self._last_cycle, self.config.n_pes,
+            self._sn_intervals, self.metrics,
+        )
+        path = critical_path(self.trace, self.plan,
+                             order=self.config.order)
+        return {
+            "cycles": accounting.to_dict(),
+            "critical_path": path.to_dict(),
+            "utilization_timeline": [
+                round(float(u), 4)
+                for u in utilization_timeline(self.trace,
+                                              self.config.n_pes)
+            ],
+        }
 
     def _report(self) -> SimReport:
         self._export_metrics(self.metrics)

@@ -26,6 +26,13 @@ class TraceEvent:
     ttype: str
     sn: int
     task_index: int
+    # Gap-attribution timestamps (-1 when the producer predates them):
+    # the cycle the dispatcher placed the task in its PE slot, and the
+    # cycle its leading operands had arrived.  The idle gap before
+    # ``start`` splits at these boundaries into dependency/scheduler wait
+    # (before dispatch) and exposed memory wait (dispatch -> op_ready).
+    dispatch: int = -1
+    op_ready: int = -1
 
     @property
     def duration(self) -> int:

@@ -9,8 +9,12 @@ Commands:
   report (optionally an ASCII Gantt chart, a Chrome trace JSON, and a
   ``--metrics`` run-artifact JSON with spans + component counters);
 * ``compare``  — Spatula vs the GPU/CPU baseline models on one matrix;
-* ``report``   — pretty-print a run artifact, or ``--diff`` two artifacts
-  and exit non-zero when a watched metric regresses past ``--threshold``;
+* ``report``   — pretty-print a run artifact, ``--diff`` two artifacts
+  (exit non-zero when a watched metric regresses past ``--threshold``),
+  or ``--html`` render one artifact into a self-contained HTML page;
+* ``history``  — append-only artifact history store: ``add`` / ``list`` /
+  ``trend`` / ``check`` (trend-based regression gate over the last N
+  same-key runs);
 * ``verify``   — seeded, time-budgeted differential fuzzing campaign
   (cross-configuration agreement + oracle checks; failing cases are
   shrunk to replayable JSON repros, replayed with ``--replay``).
@@ -38,16 +42,21 @@ from repro.numeric.solver import SparseSolver
 from repro.numeric.tuning import get_tuning
 from repro.obs import (
     global_registry,
+    HistoryStore,
     MetricsRegistry,
     RunArtifact,
+    check_trend,
     diff_artifacts,
     disable_tracing,
     enable_tracing,
     render_artifact,
     render_diff,
+    render_history,
+    render_trend_series,
     setup_logging,
     span,
     verbosity_to_level,
+    write_html_report,
 )
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.io import read_matrix_market
@@ -147,7 +156,10 @@ def cmd_solve(args) -> int:
             print(f"residual {solver.residual_norm(matrix, x, b):.3e}")
         print(f"factor nnz {solver.factor_nnz}")
         if args.metrics:
+            from repro.numeric.engine import last_factor_attribution
+
             tuning = get_tuning()
+            numeric_att = last_factor_attribution()
             artifact = RunArtifact(
                 matrix=args.matrix, kind=kind, n=matrix.n_rows,
                 config={
@@ -158,6 +170,9 @@ def cmd_solve(args) -> int:
                 report={},
                 metrics=global_registry().snapshot(),
                 spans=[s.to_dict() for s in tracer.spans],
+                attribution=(
+                    {"numeric": numeric_att} if numeric_att else None
+                ),
                 created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
             )
             artifact.save(args.metrics)
@@ -192,9 +207,12 @@ def cmd_simulate(args) -> int:
 
             executor = TileExecutor(plan, matrix)
         registry = MetricsRegistry() if args.metrics else None
+        # --metrics implies tracing: the artifact's attribution section
+        # (cycle accounting + critical path) is derived from the trace.
         sim = SpatulaSim(plan, config, matrix_name=args.matrix,
                          executor=executor,
-                         trace=bool(args.gantt or args.trace),
+                         trace=bool(args.gantt or args.trace
+                                    or args.metrics),
                          metrics=registry)
         report = sim.run()
         print(report.summary())
@@ -222,11 +240,12 @@ def cmd_simulate(args) -> int:
                                 spans=tracer.spans if tracer else None)
             print(f"wrote Chrome trace to {args.trace}")
         if args.metrics:
-            artifact = RunArtifact.from_run(report, tracer=tracer)
+            artifact = RunArtifact.from_run(report, tracer=tracer,
+                                            attribution=sim.attribution())
             artifact.save(args.metrics)
             print(f"wrote run artifact to {args.metrics} "
                   f"({len(tracer.spans)} spans, "
-                  f"{len(report.metrics)} metrics)")
+                  f"{len(report.metrics)} metrics, attribution)")
         return 0
     finally:
         if tracer is not None:
@@ -244,9 +263,50 @@ def cmd_report(args) -> int:
               f"{args.files[0]} -> {args.files[1]}")
         print(render_diff(result, show_unchanged=args.all))
         return 1 if result.has_regression else 0
+    if args.html:
+        if len(args.files) != 1:
+            raise ValueError("--html renders exactly one artifact file")
+        artifact = RunArtifact.load(args.files[0])
+        history = trend = None
+        if args.history:
+            history = HistoryStore(args.history)
+            trend = check_trend(history, artifact,
+                                tolerance=args.threshold)
+        write_html_report(artifact, args.html, history=history,
+                          trend=trend)
+        print(f"wrote HTML report to {args.html}")
+        return 0
     for path in args.files:
         print(render_artifact(RunArtifact.load(path)))
     return 0
+
+
+def cmd_history(args) -> int:
+    if args.action in ("add", "check") and not args.file:
+        raise ValueError(f"history {args.action} needs an artifact file")
+    store = HistoryStore(args.dir)
+    if args.action == "add":
+        artifact = RunArtifact.load(args.file)
+        entry = store.add(artifact)
+        print(f"recorded {args.file} as {entry.path} "
+              f"(key {entry.key})")
+        return 0
+    if args.action == "list":
+        print(render_history(store))
+        return 0
+    if args.action == "trend":
+        print(render_trend_series(store, args.metric, key=args.key))
+        return 0
+    # check: judge a new artifact against the rolling same-key median,
+    # then (unless --no-add) record it so the window keeps moving.
+    artifact = RunArtifact.load(args.file)
+    report = check_trend(store, artifact, window=args.window,
+                         tolerance=args.tolerance)
+    print(report.render())
+    if not args.no_add:
+        entry = store.add(artifact)
+        print(f"recorded as {entry.path}")
+    return 1 if report.has_regression else 0
 
 
 def cmd_verify(args) -> int:
@@ -408,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "fuzzing")
 
     p_rep = sub.add_parser(
-        "report", help="pretty-print or diff run artifacts"
+        "report", help="pretty-print, diff, or HTML-render run artifacts"
     )
     p_rep.add_argument("files", nargs="+",
                        help="artifact JSON file(s) from simulate --metrics")
@@ -419,6 +479,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression threshold (default 0.05)")
     p_rep.add_argument("--all", action="store_true",
                        help="with --diff, also show unchanged metrics")
+    p_rep.add_argument("--html", metavar="FILE", default=None,
+                       help="render one artifact into a self-contained "
+                            "HTML page (attribution tree, utilization "
+                            "timeline, trends)")
+    p_rep.add_argument("--history", metavar="DIR", default=None,
+                       help="with --html, include watched-metric trend "
+                            "sparklines from this history store")
+
+    p_hist = sub.add_parser(
+        "history", help="artifact history store: trend-based regression "
+                        "gate over the last N same-key runs"
+    )
+    p_hist.add_argument("action",
+                        choices=["add", "list", "trend", "check"])
+    p_hist.add_argument("file", nargs="?", default=None,
+                        help="artifact JSON (required for add/check)")
+    p_hist.add_argument("--dir", default=".repro-history", metavar="DIR",
+                        help="history store directory "
+                             "(default: .repro-history)")
+    p_hist.add_argument("--metric", default="report.cycles",
+                        help="metric for `trend` (default: report.cycles)")
+    p_hist.add_argument("--key", default=None,
+                        help="restrict `trend` to one run key")
+    p_hist.add_argument("--window", type=int, default=8,
+                        help="runs in the trend window (default 8)")
+    p_hist.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative tolerance vs the window median "
+                             "before `check` flags a regression "
+                             "(default 0.05)")
+    p_hist.add_argument("--no-add", action="store_true",
+                        help="with `check`, judge only; do not record the "
+                             "artifact afterwards")
     return parser
 
 
@@ -429,6 +521,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "compare": cmd_compare,
     "report": cmd_report,
+    "history": cmd_history,
     "verify": cmd_verify,
 }
 

@@ -86,6 +86,7 @@ class AnalysisCache:
                 self.hits += 1
                 global_registry().counter(
                     "numeric.analysis_cache.hits").inc()
+                self._export_hit_rate()
                 return cached
         # Analyze outside the lock: ordering + symbolic can be slow, and a
         # duplicate analysis under contention is merely wasted work, never
@@ -103,7 +104,15 @@ class AnalysisCache:
                 self._entries.popitem(last=False)
             global_registry().gauge("numeric.analysis_cache.size").set(
                 len(self._entries))
+            self._export_hit_rate()
         return symbolic
+
+    def _export_hit_rate(self) -> None:
+        # Watched by the trend gate (repro.obs.artifact.WATCHED_METRICS).
+        total = self.hits + self.misses
+        if total:
+            global_registry().gauge("numeric.analysis_cache.hit_rate").set(
+                self.hits / total)
 
     def clear(self) -> None:
         """Drop all cached analyses (hit/miss totals are kept)."""

@@ -262,6 +262,21 @@ def run_level_scheduled(
     return dispatched
 
 
+# Attribution view of the most recent factorization (see
+# last_factor_attribution); written by export_factor_metrics.
+_last_attribution: dict | None = None
+
+
+def last_factor_attribution() -> dict | None:
+    """The numeric-engine attribution view of the most recent
+    factorization in this process: the level-width series (available
+    parallelism over the elimination-tree schedule), worker occupancy,
+    and wall/busy seconds.  Embedded into solve run artifacts as the
+    ``attribution.numeric`` section — the software-engine analogue of the
+    simulator's cycle accounting.  ``None`` before any factorization."""
+    return _last_attribution
+
+
 def export_factor_metrics(
     symbolic: SymbolicFactorization,
     seconds: float,
@@ -272,6 +287,24 @@ def export_factor_metrics(
     parallel_tasks: int,
 ) -> None:
     """Report one numeric factorization into the global metrics registry."""
+    global _last_attribution
+    widths = [len(level) for level in levels]
+    n_sn = sum(widths)
+    _last_attribution = {
+        "level_widths": widths,
+        # mean runnable supernodes per level — the schedule's available
+        # parallelism, independent of worker count
+        "avg_parallelism": (n_sn / len(levels)) if levels else 0.0,
+        "serial_levels": sum(1 for w in widths if w <= 1),
+        "workers": workers,
+        "parallel_tasks": parallel_tasks,
+        "seconds": seconds,
+        "busy_seconds": busy_seconds,
+        "occupancy": (
+            min(1.0, busy_seconds / (seconds * workers))
+            if workers > 1 and seconds > 0.0 else 1.0
+        ),
+    }
     reg = global_registry()
     reg.counter("numeric.factor.count").inc()
     reg.counter("numeric.factor.seconds").inc(seconds)

@@ -10,8 +10,15 @@ Dependency-free observability primitives used across the whole stack:
   threaded through ordering → symbolic → planning → simulation → solve →
   baselines;
 * :mod:`repro.obs.artifact` — versioned JSON run artifacts
-  (config + report + metrics + spans) with diffing and a regression gate
-  (``repro report --diff``);
+  (config + report + metrics + spans + attribution) with diffing and a
+  regression gate (``repro report --diff``);
+* :mod:`repro.obs.attribution` — cycle accounting (per-PE bucket
+  decomposition of ``sim.cycles`` with what-if estimates) and
+  critical-path extraction over the executed trace;
+* :mod:`repro.obs.history` — append-only artifact history store with
+  trend-based regression checking (``repro history add/list/trend/check``);
+* :mod:`repro.obs.html` — self-contained HTML report
+  (``repro report --html``);
 * :mod:`repro.obs.log` — stdlib-logging setup behind the CLI's
   ``-v`` / ``--log-level`` flags.
 
@@ -20,6 +27,7 @@ See ``docs/OBSERVABILITY.md`` for the full guide.
 
 from repro.obs.artifact import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     WATCHED_METRICS,
     DiffResult,
     MetricDelta,
@@ -28,6 +36,22 @@ from repro.obs.artifact import (
     render_artifact,
     render_diff,
 )
+from repro.obs.attribution import (
+    BUCKETS,
+    CriticalPath,
+    CycleAttribution,
+    attribute_cycles,
+    critical_path,
+)
+from repro.obs.history import (
+    HistoryStore,
+    TrendReport,
+    check_trend,
+    render_history,
+    render_trend_series,
+    run_key,
+)
+from repro.obs.html import render_html_report, write_html_report
 from repro.obs.log import setup_logging, verbosity_to_level
 from repro.obs.metrics import (
     Counter,
@@ -66,7 +90,21 @@ __all__ = [
     "render_artifact",
     "render_diff",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "WATCHED_METRICS",
+    "BUCKETS",
+    "CycleAttribution",
+    "CriticalPath",
+    "attribute_cycles",
+    "critical_path",
+    "HistoryStore",
+    "TrendReport",
+    "check_trend",
+    "run_key",
+    "render_history",
+    "render_trend_series",
+    "render_html_report",
+    "write_html_report",
     "setup_logging",
     "verbosity_to_level",
 ]

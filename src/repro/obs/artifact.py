@@ -20,9 +20,17 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+#: Current write schema.  v2 (2026-08) added the optional ``attribution``
+#: section (cycle accounting + critical path, repro.obs.attribution).
+SCHEMA_VERSION = 2
 
-#: Metrics the diff gate watches, with the direction that is *better*.
+#: Schemas :func:`RunArtifact.load` understands.  v1 artifacts simply have
+#: no attribution section — every other field is identical.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+#: Metrics the diff/trend gates watch, with the direction that is
+#: *better*.  Spans the whole stack: simulator headline numbers, memory
+#: system, the numeric engine, and the differential-verification layer.
 WATCHED_METRICS: dict[str, str] = {
     "report.cycles": "lower",
     "report.achieved_tflops": "higher",
@@ -33,6 +41,13 @@ WATCHED_METRICS: dict[str, str] = {
     "cache.misses": "lower",
     "cache.mshr_stall_cycles": "lower",
     "noc.port.stall_cycles": "lower",
+    # numeric engine (repro.numeric.engine.export_factor_metrics)
+    "numeric.factor.gflops_per_s": "higher",
+    "numeric.parallel.occupancy": "higher",
+    "numeric.analysis_cache.hit_rate": "higher",
+    # differential verification (repro.verify)
+    "verify.mismatches": "lower",
+    "verify.checks": "higher",
 }
 
 
@@ -47,6 +62,12 @@ class RunArtifact:
     report: dict
     metrics: dict = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
+    #: Performance-attribution section (schema v2+): the dict returned by
+    #: ``SpatulaSim.attribution()`` — cycle accounting, critical path, and
+    #: utilization timeline — or a numeric-engine attribution view for
+    #: solve artifacts.  ``None`` for runs without a trace and for every
+    #: v1 artifact.
+    attribution: dict | None = None
     schema_version: int = SCHEMA_VERSION
     created_at: str = ""
 
@@ -54,7 +75,8 @@ class RunArtifact:
 
     @classmethod
     def from_run(cls, report, registry=None, tracer=None,
-                 matrix: str | None = None) -> "RunArtifact":
+                 matrix: str | None = None,
+                 attribution: dict | None = None) -> "RunArtifact":
         """Build an artifact from a :class:`~repro.arch.stats.SimReport`.
 
         Args:
@@ -62,6 +84,8 @@ class RunArtifact:
             registry: metrics registry; defaults to ``report.metrics``.
             tracer: span tracer whose spans to embed (optional).
             matrix: label override (defaults to ``report.matrix_name``).
+            attribution: attribution section to embed (the dict from
+                ``SpatulaSim.attribution()``; optional).
         """
         registry = registry if registry is not None else report.metrics
         return cls(
@@ -72,13 +96,14 @@ class RunArtifact:
             report=report.to_dict(),
             metrics=registry.snapshot() if registry is not None else {},
             spans=[s.to_dict() for s in tracer.spans] if tracer else [],
+            attribution=attribution,
             created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
         )
 
     # -- (de)serialization --------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "schema_version": self.schema_version,
             "created_at": self.created_at,
             "matrix": self.matrix,
@@ -89,6 +114,9 @@ class RunArtifact:
             "metrics": self.metrics,
             "spans": self.spans,
         }
+        if self.attribution is not None:
+            data["attribution"] = self.attribution
+        return data
 
     def save(self, path: str | Path) -> None:
         with open(path, "w") as f:
@@ -96,18 +124,26 @@ class RunArtifact:
 
     @classmethod
     def load(cls, path: str | Path) -> "RunArtifact":
+        """Load an artifact of any supported schema version.
+
+        v1 artifacts (written before the attribution layer) load with
+        ``attribution=None``; every other field is identical across v1/v2.
+        """
         with open(path) as f:
             data = json.load(f)
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = ", ".join(str(v) for v in
+                                  SUPPORTED_SCHEMA_VERSIONS)
             raise ValueError(
                 f"{path}: artifact schema_version {version!r} is not "
-                f"supported (expected {SCHEMA_VERSION})"
+                f"supported (supported versions: {supported})"
             )
         return cls(
             matrix=data["matrix"], kind=data["kind"], n=data["n"],
             config=data["config"], report=data["report"],
             metrics=data.get("metrics", {}), spans=data.get("spans", []),
+            attribution=data.get("attribution"),
             schema_version=version, created_at=data.get("created_at", ""),
         )
 
@@ -153,6 +189,15 @@ def render_artifact(artifact: RunArtifact) -> str:
                 f"  {'  ' * s.get('depth', 0)}{s['name']:<30}"
                 f"{1e3 * s['duration_s']:>10.2f} ms{mem_s}"
             )
+    if artifact.attribution and "cycles" in artifact.attribution:
+        from repro.obs.attribution import CriticalPath, CycleAttribution
+
+        lines.append("-- attribution " + "-" * 40)
+        lines.append(CycleAttribution.from_dict(
+            artifact.attribution["cycles"]).render())
+        if "critical_path" in artifact.attribution:
+            lines.append(CriticalPath.from_dict(
+                artifact.attribution["critical_path"]).render())
     if artifact.metrics:
         lines.append("-- metrics " + "-" * 44)
         for name, value in sorted(artifact.metrics.items()):

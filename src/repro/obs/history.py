@@ -1,0 +1,316 @@
+"""Artifact history store: append-only runs + trend-based regression gate.
+
+A :class:`HistoryStore` is a directory of :class:`~repro.obs.artifact
+.RunArtifact` JSON files plus an append-only ``index.jsonl`` — one line
+per recorded run with the fields needed to query without opening every
+artifact (key, created_at, watched-metric values).  Runs are grouped by
+*key*: ``matrix|kind|config-digest``, so different matrices or hardware
+configs never contaminate each other's trends.
+
+Regression checking is *trend-based*: instead of a single pairwise diff
+(noisy — one lucky baseline hides a drift, one unlucky one cries wolf),
+:func:`check_trend` compares a new artifact's watched metrics against the
+**median of the last N recorded runs with the same key**, flagging any
+metric that moved in its bad direction by more than a relative tolerance.
+The CLI surface::
+
+    repro history add    run.json --dir .history   # record a run
+    repro history list   --dir .history            # what is recorded
+    repro history trend  --dir .history --metric report.cycles
+    repro history check  run.json --dir .history   # exit 1 on regression
+
+``history check`` also *records* the artifact after judging it (pass
+``--no-add`` to only judge), so a CI job that runs it on every build
+maintains the rolling window automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.artifact import WATCHED_METRICS, RunArtifact
+
+INDEX_NAME = "index.jsonl"
+
+#: Default rolling-window length for trend statistics.
+DEFAULT_WINDOW = 8
+
+#: Default relative tolerance before a bad-direction move counts as a
+#: regression (cycle counts are deterministic; wall-clock metrics are
+#: not, hence the generous default).
+DEFAULT_TOLERANCE = 0.05
+
+
+def config_digest(config: dict) -> str:
+    """Short stable digest of a config dict (key component of run keys)."""
+    blob = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha1(blob.encode()).hexdigest()[:10]
+
+
+def run_key(artifact: RunArtifact) -> str:
+    """Trend-grouping key: same matrix + kind + hardware config."""
+    return f"{artifact.matrix}|{artifact.kind}|" \
+        f"{config_digest(artifact.config)}"
+
+
+@dataclass
+class HistoryEntry:
+    """One recorded run, as indexed in ``index.jsonl``."""
+
+    key: str
+    path: str                     # artifact file, relative to the store dir
+    created_at: str
+    recorded_at: str
+    metrics: dict[str, float]     # watched metrics only
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key, "path": self.path,
+            "created_at": self.created_at,
+            "recorded_at": self.recorded_at, "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistoryEntry":
+        return cls(
+            key=data["key"], path=data["path"],
+            created_at=data.get("created_at", ""),
+            recorded_at=data.get("recorded_at", ""),
+            metrics={k: float(v)
+                     for k, v in data.get("metrics", {}).items()},
+        )
+
+
+class HistoryStore:
+    """Append-only artifact directory with a JSONL index."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    # -- recording ----------------------------------------------------------
+
+    def add(self, artifact: RunArtifact,
+            source: str | Path | None = None) -> HistoryEntry:
+        """Record one artifact: copy its JSON into the store and append
+        an index line.  Returns the new entry."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        key = run_key(artifact)
+        seq = sum(1 for _ in self.entries())
+        digest = hashlib.sha1(
+            f"{key}|{artifact.created_at}|{seq}".encode()
+        ).hexdigest()[:8]
+        name = f"run-{seq:05d}-{digest}.json"
+        artifact.save(self.root / name)
+        entry = HistoryEntry(
+            key=key,
+            path=name,
+            created_at=artifact.created_at,
+            recorded_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+            metrics={
+                k: v for k, v in artifact.flat_metrics().items()
+                if k in WATCHED_METRICS
+            },
+        )
+        with open(self.index_path, "a") as f:
+            f.write(json.dumps(entry.to_dict()) + "\n")
+        return entry
+
+    # -- querying -----------------------------------------------------------
+
+    def entries(self, key: str | None = None) -> list[HistoryEntry]:
+        """All recorded entries, in recording order (optionally filtered
+        to one run key)."""
+        if not self.index_path.exists():
+            return []
+        out: list[HistoryEntry] = []
+        with open(self.index_path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = HistoryEntry.from_dict(json.loads(line))
+                if key is None or entry.key == key:
+                    out.append(entry)
+        return out
+
+    def keys(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for entry in self.entries():
+            seen.setdefault(entry.key, None)
+        return list(seen)
+
+    def load_artifact(self, entry: HistoryEntry) -> RunArtifact:
+        return RunArtifact.load(self.root / entry.path)
+
+    def series(self, metric: str,
+               key: str | None = None) -> list[tuple[str, float]]:
+        """(recorded_at, value) series of one watched metric."""
+        return [
+            (e.recorded_at, e.metrics[metric])
+            for e in self.entries(key)
+            if metric in e.metrics
+        ]
+
+
+# -- trend check ---------------------------------------------------------------
+
+
+@dataclass
+class TrendVerdict:
+    """One watched metric judged against its rolling-window median."""
+
+    name: str
+    direction: str          # "lower" | "higher"
+    value: float
+    median: float
+    n_samples: int
+    regressed: bool
+
+    @property
+    def rel_change(self) -> float:
+        denom = abs(self.median)
+        if denom == 0.0:
+            return 0.0 if self.value == self.median else float("inf")
+        return (self.value - self.median) / denom
+
+
+@dataclass
+class TrendReport:
+    """Outcome of checking one artifact against its history."""
+
+    key: str
+    window: int
+    tolerance: float
+    n_history: int
+    verdicts: list[TrendVerdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[TrendVerdict]:
+        return [v for v in self.verdicts if v.regressed]
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(self.regressions)
+
+    def render(self) -> str:
+        if self.n_history == 0:
+            return (f"no history for key {self.key!r} — nothing to "
+                    "check against (recording as first sample)")
+        lines = [
+            f"trend check vs median of last {self.n_history} run(s) "
+            f"(window {self.window}, tolerance "
+            f"{100 * self.tolerance:.0f}%)",
+            f"{'metric':<36}{'median':>14}{'new':>14}{'change':>10}",
+            "-" * 74,
+        ]
+        for v in self.verdicts:
+            change = v.rel_change
+            change_s = "   inf" if change == float("inf") \
+                else f"{100 * change:>+8.1f}%"
+            mark = "  << REGRESSION" if v.regressed else ""
+            lines.append(f"{v.name:<36}{v.median:>14.6g}"
+                         f"{v.value:>14.6g}{change_s:>10}{mark}")
+        lines.append("-" * 74)
+        n = len(self.regressions)
+        lines.append(
+            f"{n} watched metric(s) regressed vs trend" if n else
+            "no watched metric regressed vs trend"
+        )
+        return "\n".join(lines)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_trend(store: HistoryStore, artifact: RunArtifact,
+                window: int = DEFAULT_WINDOW,
+                tolerance: float = DEFAULT_TOLERANCE) -> TrendReport:
+    """Judge ``artifact`` against the median of its last ``window``
+    same-key runs.  A watched metric regresses when it moves in its bad
+    direction by more than ``tolerance`` relative to the median."""
+    key = run_key(artifact)
+    history = store.entries(key)[-window:]
+    flat = artifact.flat_metrics()
+    report = TrendReport(key=key, window=window, tolerance=tolerance,
+                         n_history=len(history))
+    if not history:
+        return report
+    for name, direction in sorted(WATCHED_METRICS.items()):
+        if name not in flat:
+            continue
+        samples = [e.metrics[name] for e in history if name in e.metrics]
+        if not samples:
+            continue
+        median = _median(samples)
+        value = flat[name]
+        regressed = False
+        if value != median:
+            denom = abs(median)
+            rel = ((value - median) / denom) if denom else float("inf")
+            bad = rel if direction == "lower" else -rel
+            regressed = bad > tolerance
+        report.verdicts.append(TrendVerdict(
+            name=name, direction=direction, value=value, median=median,
+            n_samples=len(samples), regressed=regressed,
+        ))
+    return report
+
+
+def render_history(store: HistoryStore) -> str:
+    """Tabular listing of everything in the store, grouped by key."""
+    entries = store.entries()
+    if not entries:
+        return f"(empty history at {store.root})"
+    lines = [f"history at {store.root}: {len(entries)} run(s), "
+             f"{len(store.keys())} key(s)"]
+    for key in store.keys():
+        group = store.entries(key)
+        lines.append(f"  {key}  ({len(group)} run(s))")
+        for e in group[-5:]:
+            cycles = e.metrics.get("report.cycles")
+            cyc = f"  cycles={cycles:.0f}" if cycles is not None else ""
+            lines.append(f"    {e.recorded_at}  {e.path}{cyc}")
+        if len(group) > 5:
+            lines.insert(-5, "    ...")
+    return "\n".join(lines)
+
+
+def render_trend_series(store: HistoryStore, metric: str,
+                        key: str | None = None,
+                        width: int = 48) -> str:
+    """ASCII sparkline + values of one metric over recorded runs."""
+    keys = [key] if key else store.keys()
+    lines = []
+    for k in keys:
+        series = store.series(metric, key=k)
+        if not series:
+            continue
+        values = [v for _, v in series]
+        lo, hi = min(values), max(values)
+        glyphs = "▁▂▃▄▅▆▇█"
+        if hi == lo:
+            spark = glyphs[0] * len(values)
+        else:
+            spark = "".join(
+                glyphs[int((v - lo) / (hi - lo) * (len(glyphs) - 1))]
+                for v in values
+            )
+        lines.append(f"{k}")
+        lines.append(f"  {metric}: {spark[-width:]}  "
+                     f"last={values[-1]:.6g}  min={lo:.6g}  max={hi:.6g}")
+    if not lines:
+        return f"(no recorded values for {metric!r})"
+    return "\n".join(lines)

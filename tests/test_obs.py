@@ -364,8 +364,11 @@ class TestCLI:
         assert main(["simulate", "suite:bmwcra_1@0.3",
                      "--metrics", str(out)]) == 0
         art = RunArtifact.load(out)
-        assert art.schema_version == 1
+        assert art.schema_version == 2
         assert art.report["cycles"] > 0
+        assert art.attribution is not None
+        assert art.attribution["critical_path"]["cp_cycles"] <= \
+            art.report["cycles"]
         span_names = {s["name"] for s in art.spans}
         for phase in ("pipeline.load_matrix", "symbolic.etree",
                       "symbolic.supernodes", "plan.build", "sim.run"):

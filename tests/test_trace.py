@@ -167,6 +167,40 @@ class TestRenderers:
                      if r.get("pid") == 0 and r["ph"] == "X"]
         assert len(pe_events) == len(sim.trace)
 
+    def test_chrome_export_span_nesting_depth_preserved(self, tmp_path):
+        """Host-span nesting depth must survive the export as the tid of
+        process 1, and PE events must stay on process 0 keyed by PE."""
+        from repro.obs import Span
+
+        events = [
+            TraceEvent(pe=0, start=0, end=10, ttype="dgemm", sn=0,
+                       task_index=0),
+            TraceEvent(pe=3, start=5, end=12, ttype="tsolve", sn=0,
+                       task_index=1),
+        ]
+        spans = [
+            Span(name="pipeline", start_s=1.0, duration_s=3.0),
+            Span(name="pipeline.symbolic", start_s=1.1, duration_s=1.0,
+                 depth=1, parent="pipeline"),
+            Span(name="pipeline.symbolic.etree", start_s=1.2,
+                 duration_s=0.5, depth=2, parent="pipeline.symbolic"),
+        ]
+        path = tmp_path / "t.json"
+        export_chrome_trace(events, path, spans=spans)
+        records = json.loads(path.read_text())["traceEvents"]
+        pe = {r["name"]: r for r in records
+              if r.get("pid") == 0 and r["ph"] == "X"}
+        host = {r["name"]: r for r in records
+                if r.get("pid") == 1 and r["ph"] == "X"}
+        assert len(pe) == 2 and len(host) == 3
+        assert pe["dgemm S0#0"]["tid"] == 0
+        assert pe["tsolve S0#1"]["tid"] == 3
+        assert host["pipeline"]["tid"] == 0
+        assert host["pipeline.symbolic"]["tid"] == 1
+        assert host["pipeline.symbolic.etree"]["tid"] == 2
+        assert host["pipeline.symbolic.etree"]["args"]["parent"] == \
+            "pipeline.symbolic"
+
     def test_trace_event_duration(self):
         e = TraceEvent(pe=0, start=10, end=25, ttype="dgemm", sn=1,
                        task_index=2)
