@@ -248,7 +248,25 @@ def main() -> int:
                         help="suite-matrix scale factor")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of)")
+    parser.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                        help="record run-scoped telemetry of the bench "
+                             "(JSONL streams + merged trace/HTML)")
+    parser.add_argument("--profile", action="store_true",
+                        help="wall-clock profiling (top table + "
+                             "flamegraph next to the telemetry streams)")
+    parser.add_argument("--profile-mode", default="both",
+                        help="which profiler(s) --profile runs")
     args = parser.parse_args()
+
+    # Same telemetry/profiling lifecycle as the CLI verbs: when the
+    # flags are off this is a no-op and the timings below are unscathed.
+    from repro.cli import ObsSession
+    from repro.obs.spans import enable_tracing
+
+    session = ObsSession(args, "perf_smoke")
+    if session.enabled:
+        enable_tracing().reset()
+    session.start()
 
     # Serena: the heaviest Cholesky suite factorization (3-D grid, real
     # fill).  atmosmodd: an LU matrix with comparable supernode structure
@@ -261,6 +279,7 @@ def main() -> int:
             name, kind, args.scale, args.repeats)
     results["cache"] = bench_cache(matrices[0][0], matrices[0][1],
                                    args.scale)
+    session.finish()
 
     largest = max(results["matrices"].items(), key=lambda kv: kv[1]["n"])
     results["summary"] = {

@@ -153,10 +153,19 @@ def export_chrome_trace(events: list[TraceEvent], path: str | Path,
                 "tid": s.get("depth", 0),
                 "args": args,
             })
+    other = {"source": "repro (Spatula reproduction)"}
+    # Cross-reference the wall-clock telemetry run (if one is recording)
+    # so a simulated-cycle trace can be matched to the telemetry
+    # streams/trace of the `repro simulate --telemetry-dir` invocation
+    # that produced it.
+    from repro.obs import telemetry
+    context = telemetry.current_context()
+    if context is not None:
+        other["telemetry_run"] = context.run_id
     payload = {
         "traceEvents": records,
         "displayTimeUnit": "ns",
-        "otherData": {"source": "repro (Spatula reproduction)"},
+        "otherData": other,
     }
     with open(path, "w") as f:
         json.dump(payload, f)

@@ -17,7 +17,19 @@ Commands:
   same-key runs);
 * ``verify``   — seeded, time-budgeted differential fuzzing campaign
   (cross-configuration agreement + oracle checks; failing cases are
-  shrunk to replayable JSON repros, replayed with ``--replay``).
+  shrunk to replayable JSON repros, replayed with ``--replay``;
+  ``--jobs N`` fans cases out over a process pool);
+* ``telemetry`` — merge the per-process JSONL streams of a
+  ``--telemetry-dir`` run into one clock-aligned timeline
+  (``collect``: summary + optional Chrome trace / HTML / JSON exports;
+  ``list``: enumerate runs in a directory).
+
+``solve``, ``simulate``, ``verify``, and ``history`` share the runtime
+observability flags: ``--telemetry-dir DIR`` records run-scoped
+telemetry (per-process JSONL event streams, merged on exit into a
+Chrome trace + HTML lane report + ``latency.*`` percentile gauges) and
+``--profile`` adds wall-clock profiling (cProfile + sampling profiler,
+top-function table + flamegraph).  See docs/OBSERVABILITY.md.
 
 Global flags (before the command): ``-v``/``-vv`` or ``--log-level`` turn
 on stdlib logging from the whole stack.
@@ -29,9 +41,13 @@ Matrices are named either ``suite:NAME[@SCALE]`` (e.g. ``suite:Serena``,
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import multiprocessing
+import os
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -44,20 +60,26 @@ from repro.obs import (
     global_registry,
     HistoryStore,
     MetricsRegistry,
+    Profiler,
     RunArtifact,
     check_trend,
     diff_artifacts,
     disable_tracing,
     enable_tracing,
+    flamegraph_svg,
     render_artifact,
     render_diff,
     render_history,
     render_trend_series,
     setup_logging,
     span,
+    telemetry,
+    timeline_chrome_trace,
     verbosity_to_level,
     write_html_report,
+    write_timeline_report,
 )
+from repro.obs.profile import PROFILE_MODES
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.io import read_matrix_market
 from repro.sparse.suite import cholesky_suite, get_matrix, get_spec, lu_suite
@@ -93,6 +115,113 @@ def _config_from_args(args) -> SpatulaConfig:
     return SpatulaConfig.paper(**overrides)
 
 
+class ObsSession:
+    """Lifecycle of ``--telemetry-dir`` / ``--profile`` for one command.
+
+    ``start()`` opens the telemetry run (publishing the env handshake so
+    worker processes can join via ``telemetry.init_worker``) and the
+    wall-clock profiler.  ``finish()`` — idempotent, also called from
+    the command's ``finally`` — stops both, merges the per-process JSONL
+    streams into one timeline, exports ``latency.*`` percentile gauges
+    into the global registry (so a subsequent artifact snapshot and the
+    history trend gate see wall-clock latency), and writes the merged
+    outputs next to the streams: ``<run>.trace.json`` (Chrome trace),
+    ``<run>.report.html`` (per-process lane view), ``<run>.timeline.json``
+    and, with ``--profile``, ``<run>.profile.txt`` + ``<run>.flame.svg``.
+
+    With neither flag set every method is a no-op, so instrumented
+    commands pay nothing when observability is off.
+    """
+
+    def __init__(self, args, command: str) -> None:
+        self.command = command
+        self.telemetry_dir = getattr(args, "telemetry_dir", None)
+        self.want_profile = bool(getattr(args, "profile", False))
+        self.profile_mode = getattr(args, "profile_mode", None) or "both"
+        self.profiler: Profiler | None = None
+        self.context = None
+        self.timeline = None
+        self.profile_result = None
+        self._done = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.telemetry_dir is not None
+
+    def start(self) -> "ObsSession":
+        if self.telemetry_dir:
+            self.context = telemetry.start(
+                self.telemetry_dir, parent_span_id=self.command)
+        if self.want_profile:
+            self.profiler = Profiler(mode=self.profile_mode)
+            self.profiler.start()
+        return self
+
+    def finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        if self.profiler is not None:
+            self.profile_result = self.profiler.stop()
+        if self.context is not None:
+            run_id = self.context.run_id
+            telemetry.stop()
+            try:
+                self.timeline = telemetry.collect(self.telemetry_dir,
+                                                  run_id=run_id)
+            except FileNotFoundError:
+                self.timeline = None
+        if self.timeline is not None:
+            telemetry.export_latency_metrics(
+                self.timeline.latency_summary())
+            root = Path(self.telemetry_dir)
+            run_id = self.timeline.run_id
+            trace_path = root / f"{run_id}.trace.json"
+            timeline_chrome_trace(self.timeline, trace_path)
+            html_path = root / f"{run_id}.report.html"
+            write_timeline_report(self.timeline, html_path,
+                                  profile=self.profile_result)
+            with open(root / f"{run_id}.timeline.json", "w") as f:
+                json.dump(self.timeline.to_dict(), f, indent=2)
+            print(f"telemetry: run {run_id}, "
+                  f"{len(self.timeline.streams)} process stream(s) -> "
+                  f"{trace_path}, {html_path}")
+        if self.profile_result is not None:
+            if self.timeline is not None:
+                root = Path(self.telemetry_dir)
+                run_id = self.timeline.run_id
+                top_path = root / f"{run_id}.profile.txt"
+                with open(top_path, "w") as f:
+                    f.write(self.profile_result.render_top(limit=40)
+                            + "\n")
+                paths = [str(top_path)]
+                if self.profile_result.folded:
+                    flame_path = root / f"{run_id}.flame.svg"
+                    with open(flame_path, "w") as f:
+                        f.write(flamegraph_svg(self.profile_result.folded))
+                    paths.append(str(flame_path))
+                print("profile: " + ", ".join(paths))
+            else:
+                print(self.profile_result.render_top(limit=20))
+
+    def telemetry_dict(self) -> dict | None:
+        """The artifact's ``telemetry`` section (``None`` when off)."""
+        if self.timeline is None:
+            return None
+        return {
+            "run_id": self.timeline.run_id,
+            "dir": self.timeline.telemetry_dir,
+            "n_processes": len(self.timeline.streams),
+            "latency_ms": self.timeline.latency_summary(),
+        }
+
+    def profile_dict(self) -> dict | None:
+        """The artifact's ``profile`` section (``None`` when off)."""
+        if self.profile_result is None:
+            return None
+        return self.profile_result.to_dict()
+
+
 def cmd_suite(_args) -> int:
     print(f"{'name':<18}{'kind':<8}{'ordering':<10}domain")
     for spec in cholesky_suite() + lu_suite():
@@ -119,42 +248,127 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _solve_load_worker(payload: tuple) -> dict:
+    """One load-generator process: a solver serving warm requests.
+
+    Module-level so it pickles under spawn.  When the parent started a
+    telemetry run, the pool initializer (``telemetry.init_worker``) has
+    already joined it, so the solver's ``numeric.factorize`` /
+    ``numeric.solve`` tracer spans stream into this process's own JSONL
+    sink and each request is wrapped in a ``solve.request`` task span.
+    """
+    spec, kind, workers, block_size, requests, seed = payload
+    matrix, default_kind, ordering = load_matrix(spec)
+    solver = SparseSolver(matrix, kind=kind or default_kind,
+                          ordering=ordering, workers=workers,
+                          block_size=block_size)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(matrix.n_rows)
+    x = solver.solve(b)
+    start = time.perf_counter()
+    for _ in range(requests):
+        with telemetry.task_span("solve.request", spec=spec):
+            solver.refactorize(matrix)
+            x = solver.solve(b)
+    seconds = time.perf_counter() - start
+    return {
+        "pid": os.getpid(),
+        "requests": requests,
+        "seconds": seconds,
+        "residual": float(solver.residual_norm(matrix, x, b)),
+    }
+
+
+def _run_solve_load(args, kind: str) -> None:
+    """``solve --procs P``: P solver processes, each serving ``--repeat``
+    warm refactorize+solve requests over the same matrix — the
+    circuit-simulation serving regime (many repeated solves on one
+    pattern).  Each process is its own telemetry stream, so the merged
+    timeline shows true per-process worker lanes."""
+    requests = max(1, args.repeat)
+    payloads = [
+        (args.matrix, kind, args.workers, args.block_size, requests,
+         args.seed + i)
+        for i in range(args.procs)
+    ]
+    pool = multiprocessing.Pool(args.procs,
+                                initializer=telemetry.init_worker)
+    try:
+        results = pool.map(_solve_load_worker, payloads)
+        pool.close()
+    except Exception:
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
+    for r in results:
+        print(f"  pid {r['pid']}: {r['requests']} requests in "
+              f"{r['seconds']:.3f}s "
+              f"({r['requests'] / max(r['seconds'], 1e-9):.1f} req/s)")
+    total = sum(r["requests"] for r in results)
+    wall = max(r["seconds"] for r in results)
+    worst = max(r["residual"] for r in results)
+    print(f"{args.procs} process(es) x {requests} warm requests: "
+          f"{total} total in {wall:.3f}s wall "
+          f"({total / max(wall, 1e-9):.1f} req/s aggregate), "
+          f"worst residual {worst:.3e}")
+
+
 def cmd_solve(args) -> int:
+    session = ObsSession(args, "solve")
     tracer = None
-    if args.metrics:
+    if args.metrics or session.enabled:
         tracer = enable_tracing()
         tracer.reset()
+    session.start()
     try:
         with span("pipeline.load_matrix"):
             matrix, kind, ordering = load_matrix(args.matrix)
         kind = args.kind or kind
-        solver = SparseSolver(matrix, kind=kind, ordering=ordering,
-                              workers=args.workers,
-                              block_size=args.block_size)
-        rng = np.random.default_rng(args.seed)
-        if args.refine:
-            shape = (matrix.n_rows, args.rhs) if args.rhs > 1 \
-                else matrix.n_rows
-            b = rng.standard_normal(shape)
-            result = solver.solve_refined(matrix, b)
-            label = f" over {args.rhs} right-hand sides" \
-                if args.rhs > 1 else ""
-            print(f"residual {result.residual_norm:.3e}{label} after "
-                  f"{result.iterations} refinement sweep(s)")
-        elif args.rhs > 1:
-            b = rng.standard_normal((matrix.n_rows, args.rhs))
-            x = solver.solve(b)
-            worst = max(
-                solver.residual_norm(matrix, x[:, j], b[:, j])
-                for j in range(args.rhs)
-            )
-            print(f"worst residual over {args.rhs} right-hand sides "
-                  f"{worst:.3e}")
+        if args.procs > 1:
+            _run_solve_load(args, kind)
         else:
-            b = rng.standard_normal(matrix.n_rows)
-            x = solver.solve(b)
-            print(f"residual {solver.residual_norm(matrix, x, b):.3e}")
-        print(f"factor nnz {solver.factor_nnz}")
+            solver = SparseSolver(matrix, kind=kind, ordering=ordering,
+                                  workers=args.workers,
+                                  block_size=args.block_size)
+            rng = np.random.default_rng(args.seed)
+            if args.refine:
+                shape = (matrix.n_rows, args.rhs) if args.rhs > 1 \
+                    else matrix.n_rows
+                b = rng.standard_normal(shape)
+                result = solver.solve_refined(matrix, b)
+                label = f" over {args.rhs} right-hand sides" \
+                    if args.rhs > 1 else ""
+                print(f"residual {result.residual_norm:.3e}{label} after "
+                      f"{result.iterations} refinement sweep(s)")
+            elif args.rhs > 1:
+                b = rng.standard_normal((matrix.n_rows, args.rhs))
+                x = solver.solve(b)
+                worst = max(
+                    solver.residual_norm(matrix, x[:, j], b[:, j])
+                    for j in range(args.rhs)
+                )
+                print(f"worst residual over {args.rhs} right-hand sides "
+                      f"{worst:.3e}")
+            else:
+                b = rng.standard_normal(matrix.n_rows)
+                x = solver.solve(b)
+                print(f"residual {solver.residual_norm(matrix, x, b):.3e}")
+            if args.repeat > 1:
+                # Warm requests over the already-analyzed pattern: each
+                # iteration adds one numeric.factorize and one
+                # numeric.solve sample to the wall-clock latency
+                # percentiles.
+                t_rep = time.perf_counter()
+                for _ in range(args.repeat - 1):
+                    solver.refactorize(matrix)
+                    solver.solve(b)
+                dt = max(time.perf_counter() - t_rep, 1e-9)
+                print(f"{args.repeat - 1} warm refactorize+solve "
+                      f"request(s) in {dt:.3f}s "
+                      f"({(args.repeat - 1) / dt:.1f} req/s)")
+            print(f"factor nnz {solver.factor_nnz}")
+        session.finish()
         if args.metrics:
             from repro.numeric.engine import last_factor_attribution
 
@@ -165,7 +379,8 @@ def cmd_solve(args) -> int:
                 config={
                     "workers": args.workers or tuning.workers,
                     "block_size": args.block_size or tuning.block_size,
-                    "rhs": args.rhs,
+                    "rhs": args.rhs, "repeat": args.repeat,
+                    "procs": args.procs,
                 },
                 report={},
                 metrics=global_registry().snapshot(),
@@ -173,6 +388,8 @@ def cmd_solve(args) -> int:
                 attribution=(
                     {"numeric": numeric_att} if numeric_att else None
                 ),
+                telemetry=session.telemetry_dict(),
+                profile=session.profile_dict(),
                 created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
             )
             artifact.save(args.metrics)
@@ -181,16 +398,19 @@ def cmd_solve(args) -> int:
                   f"{len(artifact.metrics)} metrics)")
         return 0
     finally:
+        session.finish()
         if tracer is not None:
             disable_tracing()
 
 
 def cmd_simulate(args) -> int:
+    session = ObsSession(args, "simulate")
     tracer = None
-    if args.metrics:
+    if args.metrics or session.enabled:
         # Spans for every pipeline phase land in the run artifact.
         tracer = enable_tracing(trace_memory=args.trace_memory)
         tracer.reset()
+    session.start()
     try:
         with span("pipeline.load_matrix"):
             matrix, kind, ordering = load_matrix(args.matrix)
@@ -239,15 +459,19 @@ def cmd_simulate(args) -> int:
             export_chrome_trace(sim.trace, args.trace, config.freq_ghz,
                                 spans=tracer.spans if tracer else None)
             print(f"wrote Chrome trace to {args.trace}")
+        session.finish()
         if args.metrics:
             artifact = RunArtifact.from_run(report, tracer=tracer,
                                             attribution=sim.attribution())
+            artifact.telemetry = session.telemetry_dict()
+            artifact.profile = session.profile_dict()
             artifact.save(args.metrics)
             print(f"wrote run artifact to {args.metrics} "
                   f"({len(tracer.spans)} spans, "
                   f"{len(report.metrics)} metrics, attribution)")
         return 0
     finally:
+        session.finish()
         if tracer is not None:
             disable_tracing()
 
@@ -284,6 +508,21 @@ def cmd_report(args) -> int:
 def cmd_history(args) -> int:
     if args.action in ("add", "check") and not args.file:
         raise ValueError(f"history {args.action} needs an artifact file")
+    session = ObsSession(args, "history")
+    tracer = None
+    if session.enabled:
+        tracer = enable_tracing()
+        tracer.reset()
+    session.start()
+    try:
+        return _history_action(args)
+    finally:
+        session.finish()
+        if tracer is not None:
+            disable_tracing()
+
+
+def _history_action(args) -> int:
     store = HistoryStore(args.dir)
     if args.action == "add":
         artifact = RunArtifact.load(args.file)
@@ -330,22 +569,76 @@ def cmd_verify(args) -> int:
         print("  no mismatch: the failing case no longer reproduces")
         return 0
 
-    config = VerifyConfig(
-        seed=args.seed,
-        budget_seconds=args.budget,
-        max_cases=args.cases,
-        max_n=args.max_n,
-        out_dir=args.out,
-        shrink=not args.no_shrink,
-    )
-    summary = run_verification(config)
-    print(summary.render())
-    if args.metrics:
-        artifact = campaign_artifact(summary, config)
-        artifact.save(args.metrics)
-        print(f"wrote run artifact to {args.metrics} "
-              f"({len(artifact.metrics)} metrics)")
-    return 0 if summary.ok else 1
+    session = ObsSession(args, "verify")
+    tracer = None
+    if session.enabled:
+        tracer = enable_tracing()
+        tracer.reset()
+    session.start()
+    try:
+        config = VerifyConfig(
+            seed=args.seed,
+            budget_seconds=args.budget,
+            max_cases=args.cases,
+            max_n=args.max_n,
+            out_dir=args.out,
+            shrink=not args.no_shrink,
+            jobs=args.jobs,
+        )
+        with span("verify.campaign"):
+            summary = run_verification(config)
+        print(summary.render())
+        session.finish()
+        if args.metrics:
+            artifact = campaign_artifact(summary, config)
+            artifact.telemetry = session.telemetry_dict()
+            artifact.profile = session.profile_dict()
+            artifact.save(args.metrics)
+            print(f"wrote run artifact to {args.metrics} "
+                  f"({len(artifact.metrics)} metrics)")
+        return 0 if summary.ok else 1
+    finally:
+        session.finish()
+        if tracer is not None:
+            disable_tracing()
+
+
+def cmd_telemetry(args) -> int:
+    if args.action == "list":
+        runs = telemetry.list_runs(args.dir)
+        if not runs:
+            print(f"no telemetry runs under {args.dir}")
+            return 0
+        for run in runs:
+            streams = sorted(Path(args.dir).glob(f"{run}.*.jsonl"))
+            print(f"{run}  ({len(streams)} stream(s))")
+        return 0
+    timeline = telemetry.collect(args.dir, run_id=args.run)
+    n_spans = sum(len(s.spans) for s in timeline.streams)
+    print(f"run {timeline.run_id}: {len(timeline.streams)} process "
+          f"stream(s), {n_spans} spans")
+    for s in timeline.streams:
+        print(f"  {s.label:<20}{len(s.spans):>6} spans  "
+              f"{len(s.heartbeats):>3} heartbeat(s)  "
+              f"{Path(s.path).name}")
+    latency = timeline.latency_summary()
+    if latency:
+        print(f"  {'phase':<26}{'count':>7}{'p50 ms':>10}"
+              f"{'p95 ms':>10}{'p99 ms':>10}")
+        for phase, st in latency.items():
+            print(f"  {phase:<26}{st['count']:>7}{st['p50_ms']:>10.3f}"
+                  f"{st['p95_ms']:>10.3f}{st['p99_ms']:>10.3f}")
+    if args.trace:
+        timeline_chrome_trace(timeline, args.trace)
+        print(f"wrote Chrome trace to {args.trace}")
+    if args.html:
+        write_timeline_report(timeline, args.html)
+        print(f"wrote HTML timeline to {args.html}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(timeline.to_dict(), f, indent=2)
+        print(f"wrote timeline JSON to {args.json}")
+    return 0
 
 
 def cmd_compare(args) -> int:
@@ -391,6 +684,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suite:NAME[@SCALE] or a MatrixMarket path")
         p.add_argument("--kind", choices=["cholesky", "lu"], default=None)
 
+    def add_obs_args(p):
+        p.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                       help="record run-scoped telemetry: per-process "
+                            "JSONL event streams in DIR, merged on exit "
+                            "into a Chrome trace + HTML lane report + "
+                            "latency.* percentile gauges")
+        p.add_argument("--profile", action="store_true",
+                       help="wall-clock profiling (cProfile + sampling "
+                            "profiler); writes a top-function table and "
+                            "a flamegraph next to the telemetry streams")
+        p.add_argument("--profile-mode", choices=list(PROFILE_MODES),
+                       default="both",
+                       help="which profiler(s) --profile runs "
+                            "(default: both)")
+
     p_info = sub.add_parser("info", help="matrix + symbolic summary")
     add_matrix_arg(p_info)
 
@@ -407,9 +715,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--rhs", type=int, default=1,
                          help="number of right-hand sides (solved as one "
                               "blocked panel)")
+    p_solve.add_argument("--repeat", type=int, default=1,
+                         help="warm refactorize+solve requests per solver "
+                              "(adds wall-clock latency samples for the "
+                              "p50/p95/p99 phase percentiles; default 1)")
+    p_solve.add_argument("--procs", type=int, default=1,
+                         help="process-parallel load generators, each "
+                              "serving --repeat warm requests from its "
+                              "own solver and telemetry stream "
+                              "(default 1)")
     p_solve.add_argument("--metrics", metavar="FILE", default=None,
                          help="write a run-artifact JSON (numeric-engine "
                               "metrics + pipeline spans)")
+    add_obs_args(p_solve)
 
     def add_config_args(p):
         p.add_argument("--n-pes", type=int, default=None)
@@ -437,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--trace-memory", action="store_true",
                        help="capture tracemalloc peak memory per span "
                             "(implies --metrics overhead)")
+    add_obs_args(p_sim)
 
     p_cmp = sub.add_parser("compare", help="Spatula vs GPU/CPU baselines")
     add_matrix_arg(p_cmp)
@@ -463,9 +782,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report mismatches without minimizing them")
     p_ver.add_argument("--metrics", metavar="FILE", default=None,
                        help="write a run-artifact JSON (verify.* counters)")
+    p_ver.add_argument("--jobs", type=int, default=1,
+                       help="process-pool workers for case execution; "
+                            "each joins the telemetry run and emits "
+                            "verify.case spans (default 1)")
     p_ver.add_argument("--replay", metavar="FILE", default=None,
                        help="re-run a shrunk failing-case JSON instead of "
                             "fuzzing")
+    add_obs_args(p_ver)
 
     p_rep = sub.add_parser(
         "report", help="pretty-print, diff, or HTML-render run artifacts"
@@ -511,6 +835,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_hist.add_argument("--no-add", action="store_true",
                         help="with `check`, judge only; do not record the "
                              "artifact afterwards")
+    add_obs_args(p_hist)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="merge per-process telemetry streams of a "
+                          "--telemetry-dir run into one timeline"
+    )
+    p_tel.add_argument("action", choices=["collect", "list"])
+    p_tel.add_argument("--dir", default="telemetry", metavar="DIR",
+                       help="directory holding the JSONL streams "
+                            "(default: telemetry/)")
+    p_tel.add_argument("--run", default=None, metavar="RUN_ID",
+                       help="which run to collect (default: latest)")
+    p_tel.add_argument("--trace", metavar="FILE", default=None,
+                       help="with collect, write a Chrome trace JSON")
+    p_tel.add_argument("--html", metavar="FILE", default=None,
+                       help="with collect, write the HTML lane report")
+    p_tel.add_argument("--json", metavar="FILE", default=None,
+                       help="with collect, write the merged timeline "
+                            "summary JSON")
     return parser
 
 
@@ -523,6 +866,7 @@ _COMMANDS = {
     "report": cmd_report,
     "history": cmd_history,
     "verify": cmd_verify,
+    "telemetry": cmd_telemetry,
 }
 
 

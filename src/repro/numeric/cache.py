@@ -16,14 +16,21 @@ object, which also carries the cached
 factorization, *and* assembly-map construction, going straight to the
 numeric phase.
 
-Hits and misses are counted in the global metrics registry
-(``numeric.analysis_cache.hits`` / ``.misses``) so run artifacts show
-whether the amortization actually happened.
+Hits, misses, and evictions are counted in the global metrics registry
+(``numeric.analysis_cache.hits`` / ``.misses`` / ``.evictions``, plus
+``.size`` / ``.capacity`` / ``.hit_rate`` gauges) so run artifacts show
+whether the amortization actually happened — and, under a multi-tenant
+workload, whether the working set of patterns fits the configured
+capacity.  The global cache's capacity defaults to
+:data:`DEFAULT_CAPACITY` and can be set with the
+``REPRO_ANALYSIS_CACHE_CAP`` environment variable or
+:meth:`AnalysisCache.set_capacity` at runtime.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import OrderedDict
 
@@ -32,6 +39,15 @@ import numpy as np
 from repro.obs.metrics import global_registry
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization, symbolic_factorize
+
+
+#: Default bound on the number of cached analyses.  Each entry holds the
+#: full symbolic factorization plus (lazily) the numeric scatter maps,
+#: so the bound is a memory bound, not an entry-count nicety.
+DEFAULT_CAPACITY = 32
+
+#: Environment override for the process-global cache's capacity.
+ENV_CAPACITY = "REPRO_ANALYSIS_CACHE_CAP"
 
 
 def pattern_digest(matrix: CSCMatrix) -> str:
@@ -53,7 +69,7 @@ class AnalysisCache:
     dependent, so only the matched pattern identifies the analysis.
     """
 
-    def __init__(self, capacity: int = 32) -> None:
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -62,6 +78,7 @@ class AnalysisCache:
         self._entries = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key(matrix: CSCMatrix, kind: str, ordering: str,
@@ -100,31 +117,76 @@ class AnalysisCache:
             global_registry().counter("numeric.analysis_cache.misses").inc()
             self._entries[key] = symbolic
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-            global_registry().gauge("numeric.analysis_cache.size").set(
-                len(self._entries))
-            self._export_hit_rate()
+            self._evict_to_capacity()
+            self._export_state()
         return symbolic
 
-    def _export_hit_rate(self) -> None:
-        # Watched by the trend gate (repro.obs.artifact.WATCHED_METRICS).
+    def set_capacity(self, capacity: int) -> None:
+        """Rebound the cache, evicting LRU entries if it shrank."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        with self._lock:
+            self.capacity = capacity
+            self._evict_to_capacity()
+            self._export_state()
+
+    def _evict_to_capacity(self) -> None:
+        # Caller holds the lock.
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            global_registry().counter(
+                "numeric.analysis_cache.evictions").inc()
+
+    def _export_state(self) -> None:
+        # Caller holds the lock (or the state is self-consistent enough:
+        # gauges are last-writer-wins).  hit_rate is watched by the trend
+        # gate (repro.obs.artifact.WATCHED_METRICS).
+        reg = global_registry()
+        reg.gauge("numeric.analysis_cache.size").set(len(self._entries))
+        reg.gauge("numeric.analysis_cache.capacity").set(self.capacity)
         total = self.hits + self.misses
         if total:
-            global_registry().gauge("numeric.analysis_cache.hit_rate").set(
+            reg.gauge("numeric.analysis_cache.hit_rate").set(
                 self.hits / total)
 
+    # Backwards-compatible alias used by the hit path.
+    def _export_hit_rate(self) -> None:
+        self._export_state()
+
+    def stats(self) -> dict:
+        """Point-in-time counters (for artifacts and serving stats)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
     def clear(self) -> None:
-        """Drop all cached analyses (hit/miss totals are kept)."""
+        """Drop all cached analyses (hit/miss/eviction totals are kept)."""
         with self._lock:
             self._entries.clear()
+            self._export_state()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
 
-_global_cache = AnalysisCache()
+def _capacity_from_env() -> int:
+    raw = os.environ.get(ENV_CAPACITY)
+    if not raw:
+        return DEFAULT_CAPACITY
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_CAPACITY
+
+
+_global_cache = AnalysisCache(capacity=_capacity_from_env())
 
 
 def analysis_cache() -> AnalysisCache:

@@ -37,6 +37,8 @@ from typing import Callable
 import numpy as np
 
 from repro.obs.metrics import global_registry
+from repro.obs.telemetry import active as telemetry_active
+from repro.obs.telemetry import task_span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization
@@ -243,22 +245,41 @@ def run_level_scheduled(
     the supernodes inside each wide-enough level are dispatched to a
     thread pool.  Worker exceptions propagate to the caller.
 
+    When runtime telemetry is on (:mod:`repro.obs.telemetry`), the
+    scheduler emits one ``numeric.level`` span per level (main thread)
+    and each pool-dispatched supernode emits a ``numeric.supernode``
+    span *from its worker thread* — these go straight to the per-process
+    JSONL sink (never into artifact memory), so the collected timeline
+    shows the worker lanes of the factorization.  With telemetry off the
+    instrumentation costs one module-level flag check per level.
+
     Returns the number of tasks that were dispatched to the pool.
     """
     if workers <= 1:
         for i in range(n_supernodes):
             task(i)
         return 0
+    traced = telemetry_active()
+
+    def traced_task(i: int) -> None:
+        with task_span("numeric.supernode", sn=i):
+            task(i)
+
+    pool_task = traced_task if traced else task
     dispatched = 0
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        for level in levels:
-            if len(level) < parallel_threshold:
-                for i in level:
-                    task(int(i))
-            else:
-                # list() drains the iterator: barrier + exception propagation.
-                list(pool.map(task, [int(i) for i in level]))
-                dispatched += len(level)
+        for depth, level in enumerate(levels):
+            # task_span is a shared no-op while telemetry is off.
+            with task_span("numeric.level", level=depth,
+                           width=len(level)):
+                if len(level) < parallel_threshold:
+                    for i in level:
+                        task(int(i))
+                else:
+                    # list() drains the iterator: barrier + exception
+                    # propagation.
+                    list(pool.map(pool_task, [int(i) for i in level]))
+                    dispatched += len(level)
     return dispatched
 
 

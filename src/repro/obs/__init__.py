@@ -19,6 +19,16 @@ Dependency-free observability primitives used across the whole stack:
   trend-based regression checking (``repro history add/list/trend/check``);
 * :mod:`repro.obs.html` — self-contained HTML report
   (``repro report --html``);
+* :mod:`repro.obs.telemetry` — run-scoped runtime telemetry: a run
+  context propagated to ``multiprocessing`` workers via an
+  env/initializer handshake, crash-safe per-process JSONL event sinks
+  (spans, counters, logs, heartbeats), and a collector merging the
+  streams into one clock-aligned :class:`Timeline` with wall-clock
+  latency percentiles (``repro <cmd> --telemetry-dir`` /
+  ``repro telemetry collect``);
+* :mod:`repro.obs.profile` — opt-in wall-clock profiling (cProfile +
+  a sampling signal profiler) with top-function tables and
+  self-contained SVG flamegraphs (``--profile``);
 * :mod:`repro.obs.log` — stdlib-logging setup behind the CLI's
   ``-v`` / ``--log-level`` flags.
 
@@ -51,8 +61,23 @@ from repro.obs.history import (
     render_trend_series,
     run_key,
 )
-from repro.obs.html import render_html_report, write_html_report
+from repro.obs.html import (
+    render_html_report,
+    render_timeline_html,
+    write_html_report,
+    write_timeline_report,
+)
 from repro.obs.log import setup_logging, verbosity_to_level
+from repro.obs.profile import Profiler, ProfileResult, flamegraph_svg
+from repro.obs.telemetry import (
+    RunContext,
+    TelemetrySink,
+    Timeline,
+    collect,
+    latency_percentiles,
+    task_span,
+    timeline_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -105,6 +130,18 @@ __all__ = [
     "render_trend_series",
     "render_html_report",
     "write_html_report",
+    "render_timeline_html",
+    "write_timeline_report",
+    "RunContext",
+    "TelemetrySink",
+    "Timeline",
+    "collect",
+    "latency_percentiles",
+    "task_span",
+    "timeline_chrome_trace",
+    "Profiler",
+    "ProfileResult",
+    "flamegraph_svg",
     "setup_logging",
     "verbosity_to_level",
 ]

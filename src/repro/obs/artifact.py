@@ -21,12 +21,18 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 #: Current write schema.  v2 (2026-08) added the optional ``attribution``
-#: section (cycle accounting + critical path, repro.obs.attribution).
-SCHEMA_VERSION = 2
+#: section (cycle accounting + critical path, repro.obs.attribution);
+#: v3 (2026-08) added the optional ``telemetry`` section (run id +
+#: wall-clock latency percentiles, repro.obs.telemetry) and the optional
+#: ``profile`` section (top-function table + folded stacks,
+#: repro.obs.profile).
+SCHEMA_VERSION = 3
 
-#: Schemas :func:`RunArtifact.load` understands.  v1 artifacts simply have
-#: no attribution section — every other field is identical.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: Schemas :func:`RunArtifact.load` understands.  Older artifacts simply
+#: lack the sections later versions added — every shared field is
+#: identical, so v1/v2 load with ``attribution``/``telemetry``/``profile``
+#: defaulting to ``None``.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Metrics the diff/trend gates watch, with the direction that is
 #: *better*.  Spans the whole stack: simulator headline numbers, memory
@@ -48,6 +54,13 @@ WATCHED_METRICS: dict[str, str] = {
     # differential verification (repro.verify)
     "verify.mismatches": "lower",
     "verify.checks": "higher",
+    # wall-clock phase latency percentiles (repro.obs.telemetry): the
+    # trend gate covers real time, not just simulated cycles.  Exported
+    # by `solve --telemetry-dir/--repeat` runs as latency.<phase>.* gauges.
+    "latency.numeric.factorize.p95_ms": "lower",
+    "latency.numeric.solve.p50_ms": "lower",
+    "latency.numeric.solve.p95_ms": "lower",
+    "latency.numeric.solve.p99_ms": "lower",
 }
 
 
@@ -68,6 +81,16 @@ class RunArtifact:
     #: solve artifacts.  ``None`` for runs without a trace and for every
     #: v1 artifact.
     attribution: dict | None = None
+    #: Runtime-telemetry section (schema v3+): the run id, telemetry
+    #: directory, process count, and per-phase wall-clock latency
+    #: percentiles of the run that produced this artifact.  ``None`` for
+    #: runs without ``--telemetry-dir`` and for every v1/v2 artifact.
+    telemetry: dict | None = None
+    #: Wall-clock profile section (schema v3+): the
+    #: :class:`repro.obs.profile.ProfileResult` dict — top-function
+    #: table plus folded stack samples (rendered into a flamegraph by
+    #: the HTML report).  ``None`` without ``--profile``.
+    profile: dict | None = None
     schema_version: int = SCHEMA_VERSION
     created_at: str = ""
 
@@ -116,6 +139,10 @@ class RunArtifact:
         }
         if self.attribution is not None:
             data["attribution"] = self.attribution
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        if self.profile is not None:
+            data["profile"] = self.profile
         return data
 
     def save(self, path: str | Path) -> None:
@@ -127,7 +154,9 @@ class RunArtifact:
         """Load an artifact of any supported schema version.
 
         v1 artifacts (written before the attribution layer) load with
-        ``attribution=None``; every other field is identical across v1/v2.
+        ``attribution=None``; v1/v2 artifacts (written before the
+        telemetry layer) load with ``telemetry=None``/``profile=None``.
+        Every shared field is identical across versions.
         """
         with open(path) as f:
             data = json.load(f)
@@ -144,6 +173,8 @@ class RunArtifact:
             config=data["config"], report=data["report"],
             metrics=data.get("metrics", {}), spans=data.get("spans", []),
             attribution=data.get("attribution"),
+            telemetry=data.get("telemetry"),
+            profile=data.get("profile"),
             schema_version=version, created_at=data.get("created_at", ""),
         )
 
@@ -198,6 +229,25 @@ def render_artifact(artifact: RunArtifact) -> str:
         if "critical_path" in artifact.attribution:
             lines.append(CriticalPath.from_dict(
                 artifact.attribution["critical_path"]).render())
+    if artifact.telemetry:
+        lines.append("-- telemetry " + "-" * 42)
+        run = artifact.telemetry.get("run_id", "?")
+        n_procs = artifact.telemetry.get("n_processes", 1)
+        lines.append(f"  run {run} ({n_procs} process(es))")
+        for phase, st in sorted(
+                artifact.telemetry.get("latency_ms", {}).items()):
+            lines.append(
+                f"  {phase:<26}x{st['count']:<6}"
+                f"p50 {st['p50_ms']:>9.3f} ms  "
+                f"p95 {st['p95_ms']:>9.3f} ms  "
+                f"p99 {st['p99_ms']:>9.3f} ms"
+            )
+    if artifact.profile:
+        from repro.obs.profile import ProfileResult
+
+        lines.append("-- profile " + "-" * 44)
+        lines.append(ProfileResult.from_dict(artifact.profile)
+                     .render_top(limit=10))
     if artifact.metrics:
         lines.append("-- metrics " + "-" * 44)
         for name, value in sorted(artifact.metrics.items()):

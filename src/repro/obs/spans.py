@@ -15,6 +15,14 @@ dict-free function call returning a shared no-op context manager, so
 library code can be instrumented unconditionally.  Spans nest; each span
 records its depth and parent name so exporters can rebuild the hierarchy.
 
+The tracer is thread-safe: the open-span stack is thread-local (so spans
+opened concurrently from worker threads — e.g. the level-scheduled
+numeric pool — nest within their own thread, not each other), completed
+spans are appended under a lock, and registered completion listeners
+(:meth:`Tracer.add_listener`, used by :mod:`repro.obs.telemetry` to
+mirror spans into the per-process event sink) are invoked in the
+completing thread.
+
 With ``trace_memory=True`` the tracer also samples :mod:`tracemalloc` and
 records the peak traced allocation observed while the span was open (the
 peak is reset as each span starts, so with *nested* spans an outer span
@@ -24,10 +32,12 @@ spans — the intended granularity — report true per-phase peaks).
 
 from __future__ import annotations
 
+import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Callable
 
 
 @dataclass
@@ -83,8 +93,19 @@ class Tracer:
         self.enabled = False
         self.trace_memory = False
         self.spans: list[Span] = []
-        self._stack: list[str] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._listeners: list[Callable[[Span], None]] = []
         self._started_tracemalloc = False
+
+    @property
+    def _stack(self) -> list[str]:
+        # Per-thread open-span stack: concurrent spans from worker
+        # threads must not corrupt each other's parent/depth chains.
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -102,8 +123,22 @@ class Tracer:
         self._started_tracemalloc = False
 
     def reset(self) -> None:
-        self.spans = []
-        self._stack = []
+        with self._lock:
+            self.spans = []
+        self._local = threading.local()
+
+    # -- listeners -----------------------------------------------------------
+
+    def add_listener(self, fn: Callable[[Span], None]) -> None:
+        """Call ``fn(span)`` in the completing thread for every span."""
+        with self._lock:
+            if fn not in self._listeners:
+                self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[Span], None]) -> None:
+        with self._lock:
+            if fn in self._listeners:
+                self._listeners.remove(fn)
 
     # -- recording ----------------------------------------------------------
 
@@ -114,9 +149,10 @@ class Tracer:
 
     @contextmanager
     def _record(self, name: str):
-        parent = self._stack[-1] if self._stack else None
-        depth = len(self._stack)
-        self._stack.append(name)
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(name)
         sample_mem = self.trace_memory and tracemalloc.is_tracing()
         if sample_mem:
             tracemalloc.reset_peak()
@@ -127,11 +163,16 @@ class Tracer:
             duration = time.perf_counter() - start
             peak = (tracemalloc.get_traced_memory()[1]
                     if sample_mem else None)
-            self._stack.pop()
-            self.spans.append(Span(
+            stack.pop()
+            completed = Span(
                 name=name, start_s=start, duration_s=duration,
                 depth=depth, parent=parent, peak_mem_bytes=peak,
-            ))
+            )
+            with self._lock:
+                self.spans.append(completed)
+                listeners = list(self._listeners)
+            for fn in listeners:
+                fn(completed)
 
     # -- queries ------------------------------------------------------------
 

@@ -11,15 +11,26 @@ registry (``verify.*``) so a campaign leaves a
 The campaign is deterministic given ``(seed, max_n)``; the time budget
 only decides *how far* into the deterministic case sequence the run
 gets, never *which* cases it sees.
+
+With ``jobs > 1`` the (independent) cases fan out across a
+``multiprocessing`` pool.  Each worker joins the active telemetry run
+through the env/initializer handshake
+(:func:`repro.obs.telemetry.init_worker`), emits one ``verify.case``
+span per case into its own JSONL sink, and dumps its ``verify.*``
+counters at exit — so a collected timeline shows true per-process
+worker lanes.  Results are consumed in submission order
+(``imap``), keeping the summary deterministic for a fixed case count.
 """
 
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.obs import telemetry
 from repro.obs.artifact import RunArtifact
 from repro.obs.metrics import global_registry
 from repro.verify.differential import CaseResult, SweepAxes, run_case
@@ -41,6 +52,7 @@ class VerifyConfig:
     shrink: bool = True
     shrink_seconds: float = 20.0
     axes: SweepAxes = field(default_factory=SweepAxes)
+    jobs: int = 1
 
 
 @dataclass
@@ -113,6 +125,65 @@ def _shrink_failure(result: CaseResult, config: VerifyConfig
     return path
 
 
+def _account(result: CaseResult, summary: VerifySummary,
+             config: VerifyConfig) -> None:
+    """Fold one case result into the summary + global registry.
+
+    Always runs in the main process (both serial and pool paths), so the
+    campaign artifact's ``verify.*`` metrics come from exactly one
+    registry regardless of ``jobs``.
+    """
+    reg = global_registry()
+    case = result.case
+    summary.cases += 1
+    summary.checks += result.checks
+    summary.families[case.family] = (
+        summary.families.get(case.family, 0) + 1
+    )
+    reg.counter("verify.cases").inc()
+    reg.counter("verify.checks").inc(result.checks)
+    reg.counter(f"verify.family.{case.family}").inc()
+    reg.histogram("verify.case_n").observe(case.matrix.n_rows)
+    if result.outcome == "rejected":
+        summary.rejected += 1
+        reg.counter("verify.rejected").inc()
+    if result.failed:
+        summary.failures += 1
+        reg.counter("verify.mismatches").inc(len(result.mismatches))
+        summary.mismatches.extend(
+            m.to_dict() for m in result.mismatches
+        )
+        logger.warning("mismatch in %s: %s", case.name,
+                       result.mismatches[0].detail)
+        if config.shrink:
+            path = _shrink_failure(result, config)
+            if path is not None:
+                summary.repro_paths.append(str(path))
+
+
+def _run_case_job(payload: tuple) -> CaseResult:
+    """Pool worker body: run one case under a ``verify.case`` task span.
+
+    Module-level so it pickles under spawn; the span goes to the
+    worker's own JSONL sink (no-op when the run has no telemetry).
+    """
+    case, axes = payload
+    with telemetry.task_span("verify.case", case=case.name,
+                             family=case.family, n=case.matrix.n_rows):
+        return run_case(case, axes=axes)
+
+
+def _bounded_cases(config: VerifyConfig):
+    stream = case_stream(config.seed, max_n=config.max_n)
+    if config.max_cases is None:
+        yield from stream
+        return
+    for i, case in enumerate(stream):
+        if i >= config.max_cases:
+            return
+        yield case
+
+
 def run_verification(config: VerifyConfig | None = None) -> VerifySummary:
     """Run one fuzzing campaign; see the module docstring."""
     config = config or VerifyConfig()
@@ -120,36 +191,35 @@ def run_verification(config: VerifyConfig | None = None) -> VerifySummary:
     reg = global_registry()
     start = time.monotonic()
     deadline = start + config.budget_seconds
-    for case in case_stream(config.seed, max_n=config.max_n):
-        if summary.cases and time.monotonic() >= deadline:
-            break
-        if config.max_cases is not None and summary.cases >= config.max_cases:
-            break
-        result = run_case(case, axes=config.axes)
-        summary.cases += 1
-        summary.checks += result.checks
-        summary.families[case.family] = (
-            summary.families.get(case.family, 0) + 1
-        )
-        reg.counter("verify.cases").inc()
-        reg.counter("verify.checks").inc(result.checks)
-        reg.counter(f"verify.family.{case.family}").inc()
-        reg.histogram("verify.case_n").observe(case.matrix.n_rows)
-        if result.outcome == "rejected":
-            summary.rejected += 1
-            reg.counter("verify.rejected").inc()
-        if result.failed:
-            summary.failures += 1
-            reg.counter("verify.mismatches").inc(len(result.mismatches))
-            summary.mismatches.extend(
-                m.to_dict() for m in result.mismatches
-            )
-            logger.warning("mismatch in %s: %s", case.name,
-                           result.mismatches[0].detail)
-            if config.shrink:
-                path = _shrink_failure(result, config)
-                if path is not None:
-                    summary.repro_paths.append(str(path))
+    if config.jobs > 1:
+        payloads = ((case, config.axes)
+                    for case in _bounded_cases(config))
+        pool = multiprocessing.Pool(
+            config.jobs, initializer=telemetry.init_worker)
+        drained = False
+        try:
+            for result in pool.imap(_run_case_job, payloads, chunksize=1):
+                _account(result, summary, config)
+                if time.monotonic() >= deadline:
+                    break
+            else:
+                drained = True
+        finally:
+            if drained:
+                # Clean shutdown: workers run their atexit hooks, which
+                # dump per-worker counters into the telemetry stream.
+                pool.close()
+            else:
+                # Budget break (or error): the input generator is still
+                # live and close() would drain it — kill the pool.
+                pool.terminate()
+            pool.join()
+    else:
+        for case in _bounded_cases(config):
+            if summary.cases and time.monotonic() >= deadline:
+                break
+            result = run_case(case, axes=config.axes)
+            _account(result, summary, config)
     summary.seconds = time.monotonic() - start
     reg.counter("verify.seconds").inc(summary.seconds)
     return summary

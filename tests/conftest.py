@@ -1,9 +1,14 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.arch.config import SpatulaConfig
+from repro.obs import telemetry
+from repro.obs.metrics import reset_global_registry
+from repro.obs.spans import disable_tracing, get_tracer
 from repro.sparse import (
     circuit_like,
     grid_laplacian_2d,
@@ -12,6 +17,31 @@ from repro.sparse import (
     random_spd,
     random_unsymmetric,
 )
+
+
+@pytest.fixture(autouse=True)
+def _isolate_observability_state():
+    """Reset every process-global observability singleton around each
+    test: the metrics registry, the span tracer (disabled + empty), any
+    open telemetry sink, and the telemetry env handshake.  Tests that
+    need counters or tracing enable them locally; none may depend on
+    state leaked by an earlier test.
+    """
+    reset_global_registry()
+    disable_tracing()
+    get_tracer().reset()
+    telemetry.stop(dump_registry=False)
+    for key in (telemetry.ENV_DIR, telemetry.ENV_RUN,
+                telemetry.ENV_PARENT):
+        os.environ.pop(key, None)
+    yield
+    telemetry.stop(dump_registry=False)
+    disable_tracing()
+    get_tracer().reset()
+    reset_global_registry()
+    for key in (telemetry.ENV_DIR, telemetry.ENV_RUN,
+                telemetry.ENV_PARENT):
+        os.environ.pop(key, None)
 
 
 @pytest.fixture

@@ -255,14 +255,32 @@ class TestCommittedBaseline:
 
 
 class TestSchemaVersions:
-    def test_v2_roundtrip_with_attribution(self, sim_artifact, tmp_path):
-        path = tmp_path / "v2.json"
+    def test_current_roundtrip_with_attribution(self, sim_artifact,
+                                                tmp_path):
+        from repro.obs.artifact import SCHEMA_VERSION
+
+        path = tmp_path / "current.json"
         sim_artifact.save(path)
         loaded = RunArtifact.load(path)
-        assert loaded.schema_version == 2
+        assert loaded.schema_version == SCHEMA_VERSION
         assert loaded.attribution is not None
         acc = loaded.attribution["cycles"]
         assert acc["total_cycles"] == sim_artifact.report["cycles"]
+
+    def test_v2_artifact_loads_without_telemetry(self, sim_artifact,
+                                                 tmp_path):
+        # v2 artifacts predate the telemetry/profile sections (v3).
+        data = sim_artifact.to_dict()
+        data.pop("telemetry", None)
+        data.pop("profile", None)
+        data["schema_version"] = 2
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(data))
+        loaded = RunArtifact.load(path)
+        assert loaded.schema_version == 2
+        assert loaded.attribution is not None
+        assert loaded.telemetry is None
+        assert loaded.profile is None
 
     def test_v1_artifact_loads_without_attribution(self, sim_artifact,
                                                    tmp_path):
@@ -274,6 +292,8 @@ class TestSchemaVersions:
         loaded = RunArtifact.load(path)
         assert loaded.schema_version == 1
         assert loaded.attribution is None
+        assert loaded.telemetry is None
+        assert loaded.profile is None
         assert loaded.report["cycles"] == sim_artifact.report["cycles"]
 
     def test_version_error_names_found_and_supported(self, sim_artifact,

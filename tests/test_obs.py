@@ -14,7 +14,6 @@ from repro.obs import (
     RunArtifact,
     Tracer,
     diff_artifacts,
-    disable_tracing,
     enable_tracing,
     get_tracer,
     render_artifact,
@@ -25,15 +24,8 @@ from repro.obs import (
 )
 from repro.obs.spans import _NULL_CONTEXT
 
-
-@pytest.fixture(autouse=True)
-def _clean_global_tracer():
-    """Leave the process-global tracer disabled and empty around tests."""
-    tracer = get_tracer()
-    tracer.reset()
-    yield
-    disable_tracing()
-    tracer.reset()
+# Global tracer/registry/telemetry isolation is the conftest autouse
+# fixture (_isolate_observability_state); no per-file fixture needed.
 
 
 class TestMetricsRegistry:
@@ -364,7 +356,9 @@ class TestCLI:
         assert main(["simulate", "suite:bmwcra_1@0.3",
                      "--metrics", str(out)]) == 0
         art = RunArtifact.load(out)
-        assert art.schema_version == 2
+        from repro.obs.artifact import SCHEMA_VERSION
+
+        assert art.schema_version == SCHEMA_VERSION
         assert art.report["cycles"] > 0
         assert art.attribution is not None
         assert art.attribution["critical_path"]["cp_cycles"] <= \

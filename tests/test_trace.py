@@ -138,6 +138,25 @@ class TestRenderers:
         assert record["cat"] == "dgemm"
         assert record["args"]["supernode"] == 0
 
+    def test_chrome_export_tags_active_telemetry_run(self, tmp_path):
+        from repro.obs import telemetry
+
+        events = [TraceEvent(pe=0, start=0, end=10, ttype="dgemm",
+                             sn=0, task_index=0)]
+        path = tmp_path / "plain.json"
+        export_chrome_trace(events, path)
+        other = json.loads(path.read_text())["otherData"]
+        assert "telemetry_run" not in other
+
+        telemetry.start(tmp_path / "tele", run_id="run-tagged")
+        try:
+            path = tmp_path / "tagged.json"
+            export_chrome_trace(events, path)
+            other = json.loads(path.read_text())["otherData"]
+            assert other["telemetry_run"] == "run-tagged"
+        finally:
+            telemetry.stop(dump_registry=False)
+
     def test_chrome_export_with_spans(self, traced_sim, tmp_path):
         from repro.obs import Span
 
