@@ -212,6 +212,90 @@ def bench_matrix(name: str, kind: str, scale: float, repeats: int) -> dict:
             "speedups": speedups, "max_factor_rel_err": err}
 
 
+def bench_schedulers(schedulers: list[str], workers: int, scale: float,
+                     repeats: int, history_dir: str | None) -> dict:
+    """Sweep the numeric-phase schedulers on a wide-but-uneven tree.
+
+    ``power_law_spd`` produces the profile the DAG scheduler targets:
+    many runnable supernodes per level with skewed sizes, so the level
+    barrier serializes on its slowest member.  Records
+    ``numeric.speedup.{dag,procs}`` (warm refactorize vs the level
+    baseline) plus each scheduler's idle-seconds attribution; with
+    ``history_dir`` set, appends a run artifact to the history store so
+    the trend gate watches the speedups.
+    """
+    from repro.numeric.cholesky import multifrontal_cholesky
+    from repro.numeric.engine import last_factor_attribution
+    from repro.obs.artifact import RunArtifact
+    from repro.obs.history import HistoryStore
+    from repro.sparse import power_law_spd
+
+    n = max(64, int(1200 * scale))
+    matrix = power_law_spd(n, seed=7)
+    symbolic = symbolic_factorize(matrix, kind="cholesky")
+    # Warm the pattern cache so the sweep times pure numeric work.
+    multifrontal_cholesky(matrix, symbolic, workers=1)
+    widths = [len(lvl) for lvl in symbolic._numeric_ctx.levels]
+    print(f"== scheduler sweep [power_law_spd n={n}] workers={workers}: "
+          f"{symbolic.n_supernodes} supernodes, {len(widths)} levels, "
+          f"max width {max(widths)}")
+
+    sweep: dict[str, dict] = {}
+    for sched in schedulers:
+        seconds = _best_of(
+            lambda: multifrontal_cholesky(
+                matrix, symbolic, workers=workers, scheduler=sched),
+            repeats,
+        )
+        att = last_factor_attribution() or {}
+        schedule = att.get("schedule", {})
+        sweep[sched] = {
+            "seconds": seconds,
+            "idle_s": schedule.get("idle_s", 0.0),
+            "dispatch_latency_ms":
+                schedule.get("dispatch_latency_ms", {}).get("mean", 0.0),
+            "ready_depth_mean":
+                schedule.get("ready_depth", {}).get("mean", 0.0),
+            "n_subtrees": schedule.get("n_subtrees", 0),
+            "attribution": att,
+        }
+
+    base = sweep.get("level", {}).get("seconds")
+    metrics: dict[str, float] = {}
+    reg = global_registry()
+    for sched, rec in sweep.items():
+        if base and sched != "level":
+            speedup = base / rec["seconds"]
+            rec["speedup_vs_level"] = speedup
+            metrics[f"numeric.speedup.{sched}"] = speedup
+            reg.gauge(f"numeric.speedup.{sched}").set(speedup)
+        idle = rec["idle_s"]
+        print(f"  {sched:<8}{rec['seconds'] * 1e3:>10.1f} ms  "
+              f"idle {idle * 1e3:8.1f} ms"
+              + (f"  {rec['speedup_vs_level']:.2f}x vs level"
+                 if "speedup_vs_level" in rec else "  (baseline)"))
+
+    result = {"matrix": f"power_law_spd:{n}", "workers": workers,
+              "schedulers": sweep, "metrics": metrics}
+    if history_dir:
+        artifact = RunArtifact(
+            matrix=f"power_law_spd:{n}", kind="cholesky", n=n,
+            config={"bench": "scheduler_sweep", "workers": workers,
+                    "scale": scale},
+            report={},
+            metrics={**metrics,
+                     **{f"numeric.sched.{s}.idle_s": r["idle_s"]
+                        for s, r in sweep.items()}},
+            attribution={"numeric_sweep": {
+                s: r["attribution"] for s, r in sweep.items()}},
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+        entry = HistoryStore(history_dir).add(artifact)
+        print(f"  recorded sweep into history store {history_dir} "
+              f"(key {entry.key})")
+    return result
+
+
 def bench_cache(name: str, kind: str, scale: float) -> dict:
     """Demonstrate the analysis cache: second solver skips the analysis."""
     matrix = get_matrix(name, scale=scale)
@@ -248,6 +332,18 @@ def main() -> int:
                         help="suite-matrix scale factor")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats (best-of)")
+    parser.add_argument("--scheduler", default=None, metavar="LIST",
+                        help="comma-separated schedulers to sweep "
+                             "(e.g. level,dag,procs); records "
+                             "numeric.speedup.* vs the level baseline")
+    parser.add_argument("--sched-workers", type=int, default=4,
+                        help="worker count for the --scheduler sweep")
+    parser.add_argument("--sched-only", action="store_true",
+                        help="run only the --scheduler sweep, skipping "
+                             "the baseline benches")
+    parser.add_argument("--history", metavar="DIR", default=None,
+                        help="append the --scheduler sweep artifact to "
+                             "this repro.obs.history store")
     parser.add_argument("--telemetry-dir", metavar="DIR", default=None,
                         help="record run-scoped telemetry of the bench "
                              "(JSONL streams + merged trace/HTML)")
@@ -274,26 +370,35 @@ def main() -> int:
     # benchmarks Python dispatch overhead rather than the kernels).
     matrices = [("Serena", "cholesky"), ("atmosmodd", "lu")]
     results = {"schema": 1, "matrices": {}, "panel_width": PANEL_WIDTH}
-    for name, kind in matrices:
-        results["matrices"][name] = bench_matrix(
-            name, kind, args.scale, args.repeats)
-    results["cache"] = bench_cache(matrices[0][0], matrices[0][1],
-                                   args.scale)
+    if not args.sched_only:
+        for name, kind in matrices:
+            results["matrices"][name] = bench_matrix(
+                name, kind, args.scale, args.repeats)
+        results["cache"] = bench_cache(matrices[0][0], matrices[0][1],
+                                       args.scale)
+    if args.scheduler:
+        schedulers = [s.strip() for s in args.scheduler.split(",")
+                      if s.strip()]
+        results["scheduler_sweep"] = bench_schedulers(
+            schedulers, args.sched_workers, args.scale, args.repeats,
+            args.history)
     session.finish()
 
-    largest = max(results["matrices"].items(), key=lambda kv: kv[1]["n"])
-    results["summary"] = {
-        "largest_matrix": largest[0],
-        "refactorize_speedup": largest[1]["speedups"]["refactorize"],
-        "multi_rhs_speedup": largest[1]["speedups"]["multi_rhs"],
-        "cache_hits": results["cache"]["hits"],
-    }
+    if results["matrices"]:
+        largest = max(results["matrices"].items(),
+                      key=lambda kv: kv[1]["n"])
+        results["summary"] = {
+            "largest_matrix": largest[0],
+            "refactorize_speedup": largest[1]["speedups"]["refactorize"],
+            "multi_rhs_speedup": largest[1]["speedups"]["multi_rhs"],
+            "cache_hits": results["cache"]["hits"],
+        }
+        s = results["summary"]
+        print(f"\nlargest matrix {s['largest_matrix']}: "
+              f"refactorize {s['refactorize_speedup']:.1f}x vs per-pivot, "
+              f"multi-RHS {s['multi_rhs_speedup']:.1f}x vs per-column, "
+              f"cache hits {s['cache_hits']}")
     Path(args.output).write_text(json.dumps(results, indent=1))
-    s = results["summary"]
-    print(f"\nlargest matrix {s['largest_matrix']}: "
-          f"refactorize {s['refactorize_speedup']:.1f}x vs per-pivot, "
-          f"multi-RHS {s['multi_rhs_speedup']:.1f}x vs per-column, "
-          f"cache hits {s['cache_hits']}")
     print(f"wrote {args.output}")
     return 0
 

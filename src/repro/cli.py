@@ -257,11 +257,11 @@ def _solve_load_worker(payload: tuple) -> dict:
     ``numeric.solve`` tracer spans stream into this process's own JSONL
     sink and each request is wrapped in a ``solve.request`` task span.
     """
-    spec, kind, workers, block_size, requests, seed = payload
+    spec, kind, workers, block_size, scheduler, requests, seed = payload
     matrix, default_kind, ordering = load_matrix(spec)
     solver = SparseSolver(matrix, kind=kind or default_kind,
                           ordering=ordering, workers=workers,
-                          block_size=block_size)
+                          block_size=block_size, scheduler=scheduler)
     rng = np.random.default_rng(seed)
     b = rng.standard_normal(matrix.n_rows)
     x = solver.solve(b)
@@ -287,8 +287,8 @@ def _run_solve_load(args, kind: str) -> None:
     timeline shows true per-process worker lanes."""
     requests = max(1, args.repeat)
     payloads = [
-        (args.matrix, kind, args.workers, args.block_size, requests,
-         args.seed + i)
+        (args.matrix, kind, args.workers, args.block_size, args.scheduler,
+         requests, args.seed + i)
         for i in range(args.procs)
     ]
     pool = multiprocessing.Pool(args.procs,
@@ -330,7 +330,8 @@ def cmd_solve(args) -> int:
         else:
             solver = SparseSolver(matrix, kind=kind, ordering=ordering,
                                   workers=args.workers,
-                                  block_size=args.block_size)
+                                  block_size=args.block_size,
+                                  scheduler=args.scheduler)
             rng = np.random.default_rng(args.seed)
             if args.refine:
                 shape = (matrix.n_rows, args.rhs) if args.rhs > 1 \
@@ -374,20 +375,29 @@ def cmd_solve(args) -> int:
 
             tuning = get_tuning()
             numeric_att = last_factor_attribution()
+            attribution: dict = {}
+            if numeric_att:
+                attribution["numeric"] = numeric_att
+            if session.timeline is not None:
+                # Worker processes publish their attribution through the
+                # telemetry sink (never the parent's module global); the
+                # merged cross-process view comes from the collector.
+                merged = session.timeline.merged_numeric_attribution()
+                if merged:
+                    attribution["numeric_processes"] = merged
             artifact = RunArtifact(
                 matrix=args.matrix, kind=kind, n=matrix.n_rows,
                 config={
                     "workers": args.workers or tuning.workers,
                     "block_size": args.block_size or tuning.block_size,
+                    "scheduler": args.scheduler or tuning.scheduler,
                     "rhs": args.rhs, "repeat": args.repeat,
                     "procs": args.procs,
                 },
                 report={},
                 metrics=global_registry().snapshot(),
                 spans=[s.to_dict() for s in tracer.spans],
-                attribution=(
-                    {"numeric": numeric_att} if numeric_att else None
-                ),
+                attribution=attribution or None,
                 telemetry=session.telemetry_dict(),
                 profile=session.profile_dict(),
                 created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -710,6 +720,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--workers", type=int, default=None,
                          help="threads for the level-scheduled numeric "
                               "factorization (default: tuning)")
+    p_solve.add_argument("--scheduler",
+                         choices=["level", "dag", "procs"], default=None,
+                         help="numeric-phase scheduler: level barriers "
+                              "(baseline), barrier-free DAG dispatch, or "
+                              "subtree-parallel worker processes; "
+                              "bit-identical results (defaults to the "
+                              "global tuning)")
     p_solve.add_argument("--block-size", type=int, default=None,
                          help="dense-kernel panel width (default: tuning)")
     p_solve.add_argument("--rhs", type=int, default=1,

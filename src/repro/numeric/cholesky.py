@@ -9,9 +9,10 @@ Schur complement up as this supernode's update matrix.
 Assembly uses the pattern-cached scatter maps of
 :mod:`repro.numeric.engine`, the partial factorization is the blocked
 BLAS-3 kernel of :mod:`repro.numeric.dense`, and with ``workers > 1``
-independent supernodes within an elimination-tree level run on a thread
-pool (level-scheduled traversal; the result is bit-identical to the
-sequential leaves-to-root order for any worker count).
+independent supernodes run under one of the interchangeable schedulers
+of :mod:`repro.numeric.schedule` (level barriers, barrier-free DAG, or
+subtree-parallel processes) — the result is bit-identical to the
+sequential leaves-to-root order for every scheduler and worker count.
 """
 
 from __future__ import annotations
@@ -23,14 +24,14 @@ import numpy as np
 
 from repro.numeric.dense import partial_cholesky
 from repro.numeric.engine import (
-    TaskTimer,
     export_factor_metrics,
     numeric_context,
-    run_level_scheduled,
 )
+from repro.numeric.schedule import SupernodeJob, run_scheduled
 from repro.numeric.tuning import (
     get_tuning,
     resolve_block_size,
+    resolve_scheduler,
     resolve_workers,
 )
 from repro.sparse.coo import COOMatrix
@@ -100,11 +101,41 @@ class CholeskyFactor:
         )
 
 
+class CholeskyJob(SupernodeJob):
+    """The per-supernode Cholesky task body (see ``SupernodeJob``).
+
+    Only the lower triangle of each update matrix is meaningful, and the
+    whole Cholesky pipeline only ever reads lower triangles — the
+    trailing square is passed as-is.
+    """
+
+    def __init__(self, ctx, permuted_data: np.ndarray, block: int) -> None:
+        super().__init__(ctx, permuted_data, block)
+        self.columns: list[tuple[np.ndarray, np.ndarray] | None] = \
+            [None] * self.n_supernodes
+
+    def _factor(self, i: int, sn, values: np.ndarray) -> None:
+        partial_cholesky(values, sn.n_cols, block=self.block)
+        self.columns[i] = (sn.rows.copy(),
+                           np.tril(values[:, : sn.n_cols]))
+
+    def output_shapes(self, i: int) -> list[tuple[int, ...]]:
+        sn = self.supernodes[i]
+        return [(sn.front_size, sn.n_cols)]
+
+    def output_arrays(self, i: int) -> list[np.ndarray]:
+        return [self.columns[i][1]]
+
+    def load_outputs(self, i: int, arrays: list[np.ndarray]) -> None:
+        self.columns[i] = (self.supernodes[i].rows.copy(), arrays[0])
+
+
 def multifrontal_cholesky(
     matrix: CSCMatrix,
     symbolic: SymbolicFactorization,
     workers: int | None = None,
     block_size: int | None = None,
+    scheduler: str | None = None,
 ) -> CholeskyFactor:
     """Numerically factor a matrix under an existing symbolic analysis.
 
@@ -112,59 +143,29 @@ def multifrontal_cholesky(
         matrix: the *original* (unpermuted) SPD matrix; it is permuted with
             ``symbolic.perm`` internally, so the same analysis can be reused
             across many numeric factorizations (Figure 2's loop).
-        workers: thread count for level-scheduled parallel traversal
-            (defaults to the global :mod:`repro.numeric.tuning` value).
-            The factor is bit-identical for every worker count.
+        workers: worker count for the parallel schedulers (defaults to
+            the global :mod:`repro.numeric.tuning` value).  The factor is
+            bit-identical for every worker count.
         block_size: dense-kernel panel width (defaults to tuning).
+        scheduler: "level" | "dag" | "procs" (defaults to tuning; see
+            :mod:`repro.numeric.schedule`).  Bit-identical across all.
     """
     if symbolic.kind != "cholesky":
         raise ValueError("symbolic analysis is not for Cholesky")
     workers = resolve_workers(workers)
     block = resolve_block_size(block_size)
+    scheduler = resolve_scheduler(scheduler)
     t_start = time.perf_counter()
 
     ctx = numeric_context(symbolic, matrix)
-    permuted_data = ctx.permuted_data(matrix)
-    tree = symbolic.tree
-    n_sn = tree.n_supernodes
-    supernodes = tree.supernodes
-    child_maps = tree.child_maps
-    updates: list[np.ndarray | None] = [None] * n_sn
-    columns: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n_sn
-    timer = TaskTimer(n_sn)
-
-    def task(i: int) -> None:
-        with timer.time(i):
-            sn = supernodes[i]
-            size = sn.front_size
-            values = np.zeros((size, size))
-            values.flat[ctx.flat_pos[i]] = permuted_data[ctx.data_idx[i]]
-            # Extend-add children in fixed (ascending) order so the result
-            # does not depend on which worker computed each child.
-            for child in sn.children:
-                pos = child_maps[child]
-                if pos is None:
-                    continue
-                child_update = updates[child]
-                updates[child] = None
-                values[pos[:, None], pos] += child_update
-            partial_cholesky(values, sn.n_cols, block=block)
-            columns[i] = (sn.rows.copy(),
-                          np.tril(values[:, : sn.n_cols]))
-            if sn.parent >= 0 and sn.n_update_rows > 0:
-                # Only the lower triangle of the update is meaningful, and
-                # the whole Cholesky pipeline only ever reads lower
-                # triangles — pass the trailing square as-is.
-                updates[i] = values[sn.n_cols:, sn.n_cols:].copy()
-
-    dispatched = run_level_scheduled(
-        ctx.levels, n_sn, task, workers,
+    job = CholeskyJob(ctx, ctx.permuted_data(matrix), block)
+    stats = run_scheduled(
+        job, scheduler, workers,
         parallel_threshold=get_tuning().parallel_threshold,
     )
-    if any(u is not None for u in updates):
-        raise AssertionError("unconsumed update matrices remain")
+    job.check_consumed()
     export_factor_metrics(
-        symbolic, time.perf_counter() - t_start, workers, block,
-        ctx.levels, timer.total(), dispatched,
+        symbolic, time.perf_counter() - t_start, block,
+        ctx.levels, job.timer.total(), stats,
     )
-    return CholeskyFactor(symbolic=symbolic, columns=columns)
+    return CholeskyFactor(symbolic=symbolic, columns=job.columns)

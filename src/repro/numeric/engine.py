@@ -1,4 +1,4 @@
-"""Level-scheduled multifrontal execution engine.
+"""Multifrontal execution engine: pattern-cached contexts + metrics.
 
 This module is the machinery shared by :func:`multifrontal_cholesky` and
 :func:`multifrontal_lu`:
@@ -12,37 +12,47 @@ This module is the machinery shared by :func:`multifrontal_cholesky` and
   operations instead of per-entry Python loops — the amortized-analysis
   serving pattern of CKTSO-style circuit simulation.
 
-* **Level-scheduled parallel traversal** (:func:`run_level_scheduled`):
-  elimination-tree level sets (:func:`repro.symbolic.etree.etree_level_sets`
-  over the supernode parent array) group mutually independent supernodes;
-  levels run leaves-to-root with a barrier between them, and supernodes
-  within a level are dispatched to a ``ThreadPoolExecutor`` (NumPy's BLAS
-  releases the GIL inside the blocked kernels).  Each supernode's
-  computation — assembly, extend-add in fixed child order, blocked partial
-  factorization — is deterministic and writes only its own slots, so
-  ``workers=N`` produces bit-identical factors for every N.
+* **Scheduled parallel traversal**: the actual execution strategies live
+  in :mod:`repro.numeric.schedule` — level-scheduled barriers (baseline),
+  barrier-free DAG dispatch, and subtree-parallel worker processes — all
+  bit-identical for every worker count.  ``run_level_scheduled`` and
+  ``TaskTimer`` are re-exported here for backward compatibility.
 
 * **Metrics export** (:func:`export_factor_metrics`): kernel FLOP rates,
-  level widths, and worker occupancy land in the process-global
+  level widths, scheduler evidence (ready-queue depth, dispatch latency,
+  per-worker busy/idle), and worker occupancy land in the process-global
   :func:`repro.obs.global_registry` so run artifacts (and
   ``repro report --diff``) make numeric-engine regressions visible.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable
+import threading
 
 import numpy as np
 
+from repro.numeric.schedule.base import (
+    SCHEDULER_NAMES,
+    ScheduleStats,
+    TaskTimer,
+)
+from repro.numeric.schedule.level import run_level_scheduled
+from repro.obs import telemetry
 from repro.obs.metrics import global_registry
-from repro.obs.telemetry import active as telemetry_active
-from repro.obs.telemetry import task_span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.symbolic.analyze import SymbolicFactorization
 from repro.symbolic.etree import etree_level_sets
+
+__all__ = [
+    "NumericContext",
+    "TaskTimer",
+    "export_factor_metrics",
+    "last_factor_attribution",
+    "numeric_context",
+    "row_permutation_data_map",
+    "run_level_scheduled",
+]
 
 
 def _as_int_index(data: np.ndarray) -> np.ndarray:
@@ -91,7 +101,10 @@ class NumericContext:
             ``front.flat[flat_pos[i]] = permuted_data[data_idx[i]]``
             initializes supernode ``i``'s front from A's entries (both the
             L and — for LU — the U part).
-        levels: supernode level sets (leaves first) for the scheduler.
+        sn_parent: supernode parent array (``-1`` for roots) — the task
+            dependence structure the DAG and subtree schedulers consume.
+        levels: supernode level sets (leaves first) for the level
+            scheduler.
     """
 
     def __init__(self, symbolic: SymbolicFactorization,
@@ -121,9 +134,9 @@ class NumericContext:
         self.perm_data = _as_int_index(tagged.data)
 
         tree = symbolic.tree
-        sn_parent = np.array([sn.parent for sn in tree.supernodes],
-                             dtype=np.int64)
-        self.levels = etree_level_sets(sn_parent)
+        self.sn_parent = np.array([sn.parent for sn in tree.supernodes],
+                                  dtype=np.int64)
+        self.levels = etree_level_sets(self.sn_parent)
 
         lower_maps = self._build_column_maps(
             analyzed.indptr, analyzed.indices
@@ -227,91 +240,51 @@ def numeric_context(symbolic: SymbolicFactorization,
     return ctx
 
 
-# -- level-scheduled execution -------------------------------------------------
-
-
-def run_level_scheduled(
-    levels: list[np.ndarray],
-    n_supernodes: int,
-    task: Callable[[int], None],
-    workers: int,
-    parallel_threshold: int = 2,
-) -> int:
-    """Run ``task(i)`` for every supernode, children before parents.
-
-    With ``workers == 1`` this is a plain ascending-index loop (ascending
-    index order is a valid bottom-up order of the assembly tree).  With
-    more workers, levels execute in order with a barrier between them and
-    the supernodes inside each wide-enough level are dispatched to a
-    thread pool.  Worker exceptions propagate to the caller.
-
-    When runtime telemetry is on (:mod:`repro.obs.telemetry`), the
-    scheduler emits one ``numeric.level`` span per level (main thread)
-    and each pool-dispatched supernode emits a ``numeric.supernode``
-    span *from its worker thread* — these go straight to the per-process
-    JSONL sink (never into artifact memory), so the collected timeline
-    shows the worker lanes of the factorization.  With telemetry off the
-    instrumentation costs one module-level flag check per level.
-
-    Returns the number of tasks that were dispatched to the pool.
-    """
-    if workers <= 1:
-        for i in range(n_supernodes):
-            task(i)
-        return 0
-    traced = telemetry_active()
-
-    def traced_task(i: int) -> None:
-        with task_span("numeric.supernode", sn=i):
-            task(i)
-
-    pool_task = traced_task if traced else task
-    dispatched = 0
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        for depth, level in enumerate(levels):
-            # task_span is a shared no-op while telemetry is off.
-            with task_span("numeric.level", level=depth,
-                           width=len(level)):
-                if len(level) < parallel_threshold:
-                    for i in level:
-                        task(int(i))
-                else:
-                    # list() drains the iterator: barrier + exception
-                    # propagation.
-                    list(pool.map(pool_task, [int(i) for i in level]))
-                    dispatched += len(level)
-    return dispatched
+# -- attribution and metrics export --------------------------------------------
 
 
 # Attribution view of the most recent factorization (see
-# last_factor_attribution); written by export_factor_metrics.
+# last_factor_attribution); written by export_factor_metrics under
+# _attribution_lock.  Worker-role processes (procs scheduler subtree
+# workers, solve --procs load generators) never write it — they publish
+# through the telemetry sink instead, so a forked worker cannot clobber
+# the parent's view (each process has its own copy of this global, but
+# keeping worker copies empty makes the ownership unambiguous and the
+# merged view comes from the collector).
 _last_attribution: dict | None = None
+_attribution_lock = threading.Lock()
 
 
 def last_factor_attribution() -> dict | None:
     """The numeric-engine attribution view of the most recent
     factorization in this process: the level-width series (available
-    parallelism over the elimination-tree schedule), worker occupancy,
-    and wall/busy seconds.  Embedded into solve run artifacts as the
-    ``attribution.numeric`` section — the software-engine analogue of the
-    simulator's cycle accounting.  ``None`` before any factorization."""
-    return _last_attribution
+    parallelism over the elimination-tree schedule), scheduler evidence
+    (ready-queue depth, dispatch latency, per-worker busy/idle lanes),
+    worker occupancy, and wall/busy seconds.  Embedded into solve run
+    artifacts as the ``attribution.numeric`` section — the
+    software-engine analogue of the simulator's cycle accounting.
+    ``None`` before any factorization (and always in worker-role
+    processes, which publish via the telemetry sink instead)."""
+    with _attribution_lock:
+        return _last_attribution
 
 
 def export_factor_metrics(
     symbolic: SymbolicFactorization,
     seconds: float,
-    workers: int,
     block_size: int,
     levels: list[np.ndarray],
     busy_seconds: float,
-    parallel_tasks: int,
+    stats: ScheduleStats,
 ) -> None:
-    """Report one numeric factorization into the global metrics registry."""
+    """Report one numeric factorization into the global metrics registry
+    and the per-process attribution channel."""
     global _last_attribution
+    workers = stats.workers
+    parallel_tasks = stats.dispatched
     widths = [len(level) for level in levels]
     n_sn = sum(widths)
-    _last_attribution = {
+    attribution = {
         "level_widths": widths,
         # mean runnable supernodes per level — the schedule's available
         # parallelism, independent of worker count
@@ -325,7 +298,17 @@ def export_factor_metrics(
             min(1.0, busy_seconds / (seconds * workers))
             if workers > 1 and seconds > 0.0 else 1.0
         ),
+        "schedule": stats.summary(),
     }
+    context = telemetry.current_context()
+    in_worker = context is not None and context.role == "worker"
+    if not in_worker:
+        with _attribution_lock:
+            _last_attribution = attribution
+    sink = telemetry.current_sink()
+    if sink is not None:
+        sink.attribution(attribution)
+
     reg = global_registry()
     reg.counter("numeric.factor.count").inc()
     reg.counter("numeric.factor.seconds").inc(seconds)
@@ -342,35 +325,32 @@ def export_factor_metrics(
             min(1.0, busy_seconds / (seconds * workers))
         )
     reg.gauge("numeric.levels.count").set(len(levels))
-    widths = reg.histogram("numeric.levels.width")
+    width_hist = reg.histogram("numeric.levels.width")
     for level in levels:
-        widths.observe(len(level))
+        width_hist.observe(len(level))
 
-
-class TaskTimer:
-    """Per-supernode wall-clock accumulator (disjoint slots, no locking)."""
-
-    def __init__(self, n: int) -> None:
-        self.busy = np.zeros(n)
-
-    def time(self, i: int):
-        return _TimeSlot(self.busy, i)
-
-    def total(self) -> float:
-        return float(self.busy.sum())
-
-
-class _TimeSlot:
-    __slots__ = ("_busy", "_i", "_t0")
-
-    def __init__(self, busy: np.ndarray, i: int) -> None:
-        self._busy = busy
-        self._i = i
-
-    def __enter__(self):
-        self._t0 = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc):
-        self._busy[self._i] += time.perf_counter() - self._t0
-        return False
+    sched = attribution["schedule"]
+    reg.gauge("numeric.sched.backend").set(
+        SCHEDULER_NAMES.index(stats.scheduler)
+    )
+    reg.counter(f"numeric.sched.tasks.{stats.scheduler}").inc(
+        stats.dispatched + stats.inline_tasks
+    )
+    reg.gauge("numeric.sched.ready_depth.mean").set(
+        sched["ready_depth"]["mean"]
+    )
+    reg.gauge("numeric.sched.ready_depth.max").set(
+        sched["ready_depth"]["max"]
+    )
+    reg.gauge("numeric.sched.dispatch_latency_ms.mean").set(
+        sched["dispatch_latency_ms"]["mean"]
+    )
+    reg.gauge("numeric.sched.dispatch_latency_ms.max").set(
+        sched["dispatch_latency_ms"]["max"]
+    )
+    reg.gauge("numeric.sched.idle_s").set(sched["idle_s"])
+    reg.gauge("numeric.sched.worker_tasks.imbalance").set(
+        sched["task_imbalance"]
+    )
+    if stats.n_subtrees:
+        reg.gauge("numeric.sched.subtrees").set(stats.n_subtrees)

@@ -9,8 +9,9 @@ static-pivoted solvers.
 
 Like the Cholesky side, assembly runs through the pattern-cached scatter
 maps of :mod:`repro.numeric.engine`, the partial factorization is the
-blocked BLAS-3 kernel, and ``workers > 1`` runs independent supernodes of
-each elimination-tree level on a thread pool with bit-identical results.
+blocked BLAS-3 kernel, and ``workers > 1`` runs independent supernodes
+under any of the :mod:`repro.numeric.schedule` backends with
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -23,14 +24,14 @@ import numpy as np
 from repro.numeric.cholesky import _supernode_triangle
 from repro.numeric.dense import partial_lu
 from repro.numeric.engine import (
-    TaskTimer,
     export_factor_metrics,
     numeric_context,
-    run_level_scheduled,
 )
+from repro.numeric.schedule import SupernodeJob, run_scheduled
 from repro.numeric.tuning import (
     get_tuning,
     resolve_block_size,
+    resolve_scheduler,
     resolve_workers,
 )
 from repro.sparse.coo import COOMatrix
@@ -94,12 +95,53 @@ class LUFactors:
         return lower, upper
 
 
+class LUJob(SupernodeJob):
+    """The per-supernode LU task body (see ``SupernodeJob``)."""
+
+    def __init__(self, ctx, permuted_data: np.ndarray, block: int,
+                 perturb: float) -> None:
+        super().__init__(ctx, permuted_data, block)
+        self.perturb = perturb
+        self.fronts: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ] = [None] * self.n_supernodes
+        self.perturbed = np.zeros(self.n_supernodes, dtype=np.int64)
+
+    def _factor(self, i: int, sn, values: np.ndarray) -> None:
+        k = sn.n_cols
+        before = np.abs(np.diag(values)[:k])
+        self.perturbed[i] = int(np.sum(before < self.perturb))
+        partial_lu(values, k, perturb=self.perturb, block=self.block)
+        self.fronts[i] = (sn.rows.copy(),
+                          np.tril(values[:, :k]),
+                          np.triu(values[:k, :]))
+
+    def output_shapes(self, i: int) -> list[tuple[int, ...]]:
+        sn = self.supernodes[i]
+        size, k = sn.front_size, sn.n_cols
+        return [(size, k), (k, size)]
+
+    def output_arrays(self, i: int) -> list[np.ndarray]:
+        return [self.fronts[i][1], self.fronts[i][2]]
+
+    def load_outputs(self, i: int, arrays: list[np.ndarray]) -> None:
+        self.fronts[i] = (self.supernodes[i].rows.copy(),
+                          arrays[0], arrays[1])
+
+    def scalar_output(self, i: int) -> float:
+        return float(self.perturbed[i])
+
+    def load_scalar(self, i: int, value: float) -> None:
+        self.perturbed[i] = int(value)
+
+
 def multifrontal_lu(
     matrix: CSCMatrix,
     symbolic: SymbolicFactorization,
     perturb: float | None = None,
     workers: int | None = None,
     block_size: int | None = None,
+    scheduler: str | None = None,
 ) -> LUFactors:
     """Numerically LU-factor a matrix under an existing symbolic analysis.
 
@@ -108,64 +150,33 @@ def multifrontal_lu(
             matrix.
         symbolic: analysis with kind == "lu".
         perturb: small-pivot threshold; defaults to sqrt(eps) * max|A|.
-        workers: thread count for level-scheduled parallel traversal
-            (defaults to the global tuning; bit-identical for every N).
+        workers: worker count for the parallel schedulers (defaults to
+            the global tuning; bit-identical for every N).
         block_size: dense-kernel panel width (defaults to tuning).
+        scheduler: "level" | "dag" | "procs" (defaults to tuning; see
+            :mod:`repro.numeric.schedule`).  Bit-identical across all.
     """
     if symbolic.kind != "lu":
         raise ValueError("symbolic analysis is not for LU")
     workers = resolve_workers(workers)
     block = resolve_block_size(block_size)
+    scheduler = resolve_scheduler(scheduler)
     t_start = time.perf_counter()
 
     ctx = numeric_context(symbolic, matrix)
-    permuted_data = ctx.permuted_data(matrix)
     if perturb is None:
         amax = float(np.abs(matrix.data).max()) if matrix.nnz else 1.0
         perturb = np.sqrt(np.finfo(np.float64).eps) * amax
 
-    tree = symbolic.tree
-    n_sn = tree.n_supernodes
-    supernodes = tree.supernodes
-    child_maps = tree.child_maps
-    updates: list[np.ndarray | None] = [None] * n_sn
-    fronts: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]
-    fronts = [None] * n_sn
-    perturbed = np.zeros(n_sn, dtype=np.int64)
-    timer = TaskTimer(n_sn)
-
-    def task(i: int) -> None:
-        with timer.time(i):
-            sn = supernodes[i]
-            size = sn.front_size
-            k = sn.n_cols
-            values = np.zeros((size, size))
-            values.flat[ctx.flat_pos[i]] = permuted_data[ctx.data_idx[i]]
-            for child in sn.children:
-                pos = child_maps[child]
-                if pos is None:
-                    continue
-                child_update = updates[child]
-                updates[child] = None
-                values[pos[:, None], pos] += child_update
-            before = np.abs(np.diag(values)[:k])
-            perturbed[i] = int(np.sum(before < perturb))
-            partial_lu(values, k, perturb=perturb, block=block)
-            fronts[i] = (sn.rows.copy(),
-                         np.tril(values[:, :k]),
-                         np.triu(values[:k, :]))
-            if sn.parent >= 0 and sn.n_update_rows > 0:
-                updates[i] = values[k:, k:].copy()
-
-    dispatched = run_level_scheduled(
-        ctx.levels, n_sn, task, workers,
+    job = LUJob(ctx, ctx.permuted_data(matrix), block, perturb)
+    stats = run_scheduled(
+        job, scheduler, workers,
         parallel_threshold=get_tuning().parallel_threshold,
     )
-    if any(u is not None for u in updates):
-        raise AssertionError("unconsumed update matrices remain")
+    job.check_consumed()
     export_factor_metrics(
-        symbolic, time.perf_counter() - t_start, workers, block,
-        ctx.levels, timer.total(), dispatched,
+        symbolic, time.perf_counter() - t_start, block,
+        ctx.levels, job.timer.total(), stats,
     )
-    return LUFactors(symbolic=symbolic, fronts=fronts,
-                     perturbed_pivots=int(perturbed.sum()))
+    return LUFactors(symbolic=symbolic, fronts=job.fronts,
+                     perturbed_pivots=int(job.perturbed.sum()))

@@ -1,0 +1,121 @@
+"""Proportional-mapping subtree partition of the assembly tree.
+
+The process backend needs coarse-grained, completely independent units
+of work: disjoint subtrees whose factorization touches no shared state
+except the update matrix each subtree root hands its parent.  Following
+the proportional-mapping idea (Pothen/Sun; used by every subtree-level
+parallel multifrontal code), we start from the forest roots and
+repeatedly split the heaviest candidate subtree into its children —
+promoting the split node to the sequential "top" set — until the
+candidates are numerous and light enough to balance across workers.
+
+Work per supernode comes from the symbolic flop model
+(:func:`repro.tasks.flops.supernode_factor_flops` via
+``SymbolicFactorization.supernode_flops``), so the cut adapts to skewed
+supernode sizes, not just node counts.
+
+Supernodes are numbered children-before-parents (assembly order), which
+the propagation loops below rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+def subtree_work(sn_parent: np.ndarray, work: np.ndarray) -> np.ndarray:
+    """Total work in the subtree rooted at each node.
+
+    ``work[i]`` is node i's own cost; children accumulate into parents
+    in one ascending pass (valid because children precede parents).
+    """
+    total = np.asarray(work, dtype=float).copy()
+    for i in range(len(total)):
+        p = int(sn_parent[i])
+        if p >= 0:
+            total[p] += total[i]
+    return total
+
+
+def partition_subtrees(
+    sn_parent: np.ndarray,
+    work: np.ndarray,
+    n_parts: int,
+    max_parts: int | None = None,
+    oversubscribe: float = 2.0,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Carve the forest into independent subtrees plus a top set.
+
+    Returns ``(subtrees, top)`` where each element of ``subtrees`` is an
+    ascending array of supernode indices forming one complete subtree
+    (root included, every descendant included), and ``top`` is the
+    upward-closed remainder: every node whose subtree was split, i.e.
+    every proper ancestor of every subtree root.  Together they cover
+    all nodes exactly once.
+
+    Splitting stops once every candidate subtree is lighter than
+    ``total_work / (n_parts * oversubscribe)`` (oversubscription gives
+    the worker pool slack to balance uneven subtrees) or when
+    ``max_parts`` candidates exist (default ``4 * n_parts``; bounds the
+    sequential top set on chain-shaped trees, which have no subtree
+    parallelism to extract anyway).
+    """
+    n = len(sn_parent)
+    if n == 0:
+        return [], np.empty(0, dtype=np.int64)
+    if max_parts is None:
+        max_parts = max(2, 4 * n_parts)
+
+    work = np.asarray(work, dtype=float)
+    # Guard against all-zero flop estimates (e.g. 1x1 supernodes).
+    if not np.any(work > 0.0):
+        work = np.ones(n)
+    total = subtree_work(sn_parent, work)
+
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = []
+    for i in range(n):
+        p = int(sn_parent[i])
+        if p >= 0:
+            children[p].append(i)
+        else:
+            roots.append(i)
+
+    grand_total = float(total[roots].sum())
+    threshold = grand_total / max(1.0, n_parts * oversubscribe)
+
+    # Max-heap of candidate subtree roots by subtree work; ``done``
+    # collects candidates that can no longer or need no longer split.
+    heap = [(-total[r], r) for r in roots]
+    heapq.heapify(heap)
+    done: list[int] = []
+    top: list[int] = []
+    while heap and len(heap) + len(done) < max_parts:
+        neg_w, v = heapq.heappop(heap)
+        if -neg_w <= threshold or not children[v]:
+            done.append(v)
+            continue
+        top.append(v)
+        for c in children[v]:
+            heapq.heappush(heap, (-total[c], c))
+    done.extend(v for _, v in heap)
+
+    # Propagate subtree labels root-downward.  Parents have higher
+    # indices than children, so a descending sweep sees each node's
+    # parent first; top nodes keep label -1 (their children are always
+    # either designated roots or top nodes themselves).
+    label = np.full(n, -2, dtype=np.int64)
+    for k, r in enumerate(done):
+        label[r] = k
+    for v in top:
+        label[v] = -1
+    for i in range(n - 1, -1, -1):
+        if label[i] != -2:
+            continue
+        label[i] = label[int(sn_parent[i])]
+
+    subtrees = [np.flatnonzero(label == k) for k in range(len(done))]
+    top_nodes = np.flatnonzero(label == -1)
+    return subtrees, top_nodes

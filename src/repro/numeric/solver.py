@@ -56,10 +56,14 @@ class SparseSolver:
         kind: "cholesky" or "lu".
         ordering: fill-reducing ordering method ("amd", "nd", "rcm",
             "natural").
-        workers: thread count for the level-scheduled numeric phase
-            (``None`` defers to the global :mod:`repro.numeric.tuning`).
-            The factor is bit-identical for every worker count.
+        workers: worker count for the parallel numeric phase (``None``
+            defers to the global :mod:`repro.numeric.tuning`).  The
+            factor is bit-identical for every worker count.
         block_size: dense-kernel panel width (``None`` defers to tuning).
+        scheduler: numeric-phase scheduler — "level", "dag", or "procs"
+            (``None`` defers to tuning; see
+            :mod:`repro.numeric.schedule` and docs/PERFORMANCE.md).
+            Bit-identical across all schedulers.
         use_cache: share the symbolic analysis through the process-global
             :func:`~repro.numeric.cache.analysis_cache` so repeated solver
             construction over one pattern skips ordering and symbolic
@@ -75,6 +79,7 @@ class SparseSolver:
         relax_ratio: float = 0.3,
         workers: int | None = None,
         block_size: int | None = None,
+        scheduler: str | None = None,
         use_cache: bool = True,
     ) -> None:
         if matrix.n_rows != matrix.n_cols:
@@ -82,6 +87,7 @@ class SparseSolver:
         self.kind = kind
         self.workers = workers
         self.block_size = block_size
+        self.scheduler = scheduler
         # The pattern this solver was built for (refactorize validates
         # against it, so pattern changes fail loudly).
         self._src_indptr = matrix.indptr.copy()
@@ -126,11 +132,13 @@ class SparseSolver:
                 self._chol = multifrontal_cholesky(
                     self._matrix, self.symbolic,
                     workers=self.workers, block_size=self.block_size,
+                    scheduler=self.scheduler,
                 )
             else:
                 self._lu = multifrontal_lu(
                     self._matrix, self.symbolic,
                     workers=self.workers, block_size=self.block_size,
+                    scheduler=self.scheduler,
                 )
             # CSC mirrors are materialized lazily (only the "csc" solve
             # method and factor_nnz need them).

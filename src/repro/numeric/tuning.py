@@ -25,6 +25,11 @@ Knobs:
 * ``parallel_threshold`` — minimum number of supernodes in a level before
   the level is dispatched to the thread pool; tiny levels are cheaper to
   run inline than to schedule.
+* ``scheduler`` — which :mod:`repro.numeric.schedule` backend runs the
+  numeric phase: ``"level"`` (barrier per etree level, the baseline),
+  ``"dag"`` (barrier-free dataflow dispatch), or ``"procs"``
+  (subtree-parallel worker processes over shared memory).  All three are
+  bit-identical; see docs/PERFORMANCE.md "Choosing a scheduler".
 """
 
 from __future__ import annotations
@@ -35,6 +40,11 @@ from dataclasses import dataclass, replace
 DEFAULT_BLOCK_SIZE = 48
 DEFAULT_WORKERS = 1
 DEFAULT_PARALLEL_THRESHOLD = 2
+DEFAULT_SCHEDULER = "level"
+
+#: Mirrors repro.numeric.schedule.SCHEDULER_NAMES (kept literal here so
+#: tuning stays import-light and cycle-free).
+SCHEDULERS = ("level", "dag", "procs")
 
 
 @dataclass(frozen=True)
@@ -44,6 +54,7 @@ class NumericTuning:
     block_size: int = DEFAULT_BLOCK_SIZE
     workers: int = DEFAULT_WORKERS
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
+    scheduler: str = DEFAULT_SCHEDULER
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -52,6 +63,10 @@ class NumericTuning:
             raise ValueError("workers must be >= 1")
         if self.parallel_threshold < 1:
             raise ValueError("parallel_threshold must be >= 1")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}"
+            )
 
 
 _tuning = NumericTuning()
@@ -73,7 +88,7 @@ def set_tuning(tuning: NumericTuning) -> NumericTuning:
 @contextmanager
 def tuned(**overrides):
     """Temporarily override tuning fields (``block_size=``, ``workers=``,
-    ``parallel_threshold=``) within a ``with`` block."""
+    ``parallel_threshold=``, ``scheduler=``) within a ``with`` block."""
     previous = set_tuning(replace(_tuning, **overrides))
     try:
         yield _tuning
@@ -89,3 +104,12 @@ def resolve_block_size(block_size: int | None) -> int:
 def resolve_workers(workers: int | None) -> int:
     """Per-call override, falling back to the global tuning."""
     return _tuning.workers if workers is None else int(workers)
+
+
+def resolve_scheduler(scheduler: str | None) -> str:
+    """Per-call override, falling back to the global tuning."""
+    if scheduler is None:
+        return _tuning.scheduler
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"scheduler must be one of {SCHEDULERS}")
+    return scheduler

@@ -172,6 +172,15 @@ class TelemetrySink:
             "logger": record.name, "msg": record.getMessage(),
         })
 
+    def attribution(self, attr: dict) -> None:
+        """Record a process-local attribution view (e.g. the numeric
+        engine's factorization summary).  Worker processes publish their
+        attribution through this channel instead of mutating their own
+        copy of the parent's module globals — the collector hands every
+        process's view back to the parent for merging."""
+        self.emit({"t": "attr", "run": self.context.run_id,
+                   "pid": self.pid, "wall": time.time(), "attr": attr})
+
     def heartbeat(self) -> None:
         event = {"t": "hb", "run": self.context.run_id, "pid": self.pid,
                  "wall": time.time()}
@@ -421,6 +430,7 @@ class ProcessStream:
     gauges: dict[str, float] = field(default_factory=dict)
     logs: list[dict] = field(default_factory=list)
     heartbeats: list[dict] = field(default_factory=list)
+    attributions: list[dict] = field(default_factory=list)
 
     @property
     def label(self) -> str:
@@ -492,6 +502,41 @@ class Timeline:
         for stream in self.streams:
             for name, value in stream.gauges.items():
                 merged[name] = value
+        return merged
+
+    def attributions(self) -> list[dict]:
+        """Every attribution view emitted in this run, tagged with the
+        emitting process's pid/role, main process first."""
+        out = []
+        for stream in self.streams:
+            for attr in stream.attributions:
+                out.append({"pid": stream.pid, "role": stream.role,
+                            **attr})
+        return out
+
+    def merged_numeric_attribution(self) -> dict | None:
+        """Cross-process merge of the numeric-engine attribution views.
+
+        Worker processes (the procs scheduler, ``solve --procs`` load
+        generators) publish their per-process view through the sink
+        rather than clobbering the parent's module global; this folds
+        them back together: seconds/busy-seconds/task totals summed,
+        per-process views kept for drill-down.  ``None`` when no process
+        emitted one.
+        """
+        views = self.attributions()
+        if not views:
+            return None
+        merged = {
+            "processes": views,
+            "n_processes": len({v["pid"] for v in views}),
+            "seconds": sum(v.get("seconds", 0.0) for v in views),
+            "busy_seconds": sum(v.get("busy_seconds", 0.0)
+                                for v in views),
+            "parallel_tasks": int(sum(v.get("parallel_tasks", 0)
+                                      for v in views)),
+            "factorizations": len(views),
+        }
         return merged
 
     def logs(self) -> list[dict]:
@@ -617,6 +662,8 @@ def collect(telemetry_dir: str | Path,
                     stream.logs.append(event)
                 elif kind == "hb":
                     stream.heartbeats.append(event)
+                elif kind == "attr":
+                    stream.attributions.append(event.get("attr", {}))
         if stream is not None:
             timeline.streams.append(stream)
     if not timeline.streams:
