@@ -22,7 +22,13 @@ Commands:
 * ``telemetry`` — merge the per-process JSONL streams of a
   ``--telemetry-dir`` run into one clock-aligned timeline
   (``collect``: summary + optional Chrome trace / HTML / JSON exports;
-  ``list``: enumerate runs in a directory).
+  ``list``: enumerate runs in a directory);
+* ``serve``    — long-lived multi-tenant solve server on a unix socket
+  (NDJSON protocol, request coalescing into blocked multi-RHS panels;
+  see docs/SERVING.md);
+* ``serve-bench`` — load generator against an in-process solve server:
+  closed-/open-loop traffic over fuzz-suite families, coalesced vs
+  uncoalesced phases, bit-identity verification, ``serve.*`` gauges.
 
 ``solve``, ``simulate``, ``verify``, and ``history`` share the runtime
 observability flags: ``--telemetry-dir DIR`` records run-scoped
@@ -80,6 +86,11 @@ from repro.obs import (
     write_timeline_report,
 )
 from repro.obs.profile import PROFILE_MODES
+from repro.serve.metrics import (
+    REQUEST_PHASE,
+    LatencyRecorder,
+    export_serve_gauges,
+)
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.io import read_matrix_market
 from repro.sparse.suite import cholesky_suite, get_matrix, get_spec, lu_suite
@@ -257,24 +268,30 @@ def _solve_load_worker(payload: tuple) -> dict:
     ``numeric.solve`` tracer spans stream into this process's own JSONL
     sink and each request is wrapped in a ``solve.request`` task span.
     """
-    spec, kind, workers, block_size, scheduler, requests, seed = payload
+    spec, kind, workers, block_size, scheduler, rhs_pad, requests, seed = \
+        payload
     matrix, default_kind, ordering = load_matrix(spec)
     solver = SparseSolver(matrix, kind=kind or default_kind,
                           ordering=ordering, workers=workers,
-                          block_size=block_size, scheduler=scheduler)
+                          block_size=block_size, scheduler=scheduler,
+                          rhs_pad=rhs_pad)
     rng = np.random.default_rng(seed)
     b = rng.standard_normal(matrix.n_rows)
     x = solver.solve(b)
     start = time.perf_counter()
+    latencies = []
     for _ in range(requests):
+        t_req = time.perf_counter()
         with telemetry.task_span("solve.request", spec=spec):
             solver.refactorize(matrix)
             x = solver.solve(b)
+        latencies.append(time.perf_counter() - t_req)
     seconds = time.perf_counter() - start
     return {
         "pid": os.getpid(),
         "requests": requests,
         "seconds": seconds,
+        "latencies": latencies,
         "residual": float(solver.residual_norm(matrix, x, b)),
     }
 
@@ -288,7 +305,7 @@ def _run_solve_load(args, kind: str) -> None:
     requests = max(1, args.repeat)
     payloads = [
         (args.matrix, kind, args.workers, args.block_size, args.scheduler,
-         requests, args.seed + i)
+         args.rhs_pad, requests, args.seed + i)
         for i in range(args.procs)
     ]
     pool = multiprocessing.Pool(args.procs,
@@ -312,6 +329,21 @@ def _run_solve_load(args, kind: str) -> None:
           f"{total} total in {wall:.3f}s wall "
           f"({total / max(wall, 1e-9):.1f} req/s aggregate), "
           f"worst residual {worst:.3e}")
+    # This warm loop is the process-parallel flavour of the serving
+    # workload, so it reports under the same serve.* gauge names as the
+    # solve server and serve-bench (one comparable series per harness in
+    # the history trend gate).
+    recorder = LatencyRecorder()
+    for r in results:
+        for seconds in r["latencies"]:
+            recorder.observe(REQUEST_PHASE, seconds)
+    recorder.export()
+    export_serve_gauges(throughput_rps=total / max(wall, 1e-9))
+    stats = recorder.summary().get(REQUEST_PHASE)
+    if stats:
+        print(f"  request latency p50 {stats['p50_ms']:.3f}ms  "
+              f"p95 {stats['p95_ms']:.3f}ms  p99 {stats['p99_ms']:.3f}ms "
+              f"(exported as serve.latency.request.*)")
 
 
 def cmd_solve(args) -> int:
@@ -331,7 +363,8 @@ def cmd_solve(args) -> int:
             solver = SparseSolver(matrix, kind=kind, ordering=ordering,
                                   workers=args.workers,
                                   block_size=args.block_size,
-                                  scheduler=args.scheduler)
+                                  scheduler=args.scheduler,
+                                  rhs_pad=args.rhs_pad)
             rng = np.random.default_rng(args.seed)
             if args.refine:
                 shape = (matrix.n_rows, args.rhs) if args.rhs > 1 \
@@ -359,15 +392,27 @@ def cmd_solve(args) -> int:
                 # Warm requests over the already-analyzed pattern: each
                 # iteration adds one numeric.factorize and one
                 # numeric.solve sample to the wall-clock latency
-                # percentiles.
+                # percentiles — and the whole loop reports under the
+                # same serve.* gauges as the solve server, so the trend
+                # gate sees one warm-serving series across harnesses.
+                recorder = LatencyRecorder()
                 t_rep = time.perf_counter()
                 for _ in range(args.repeat - 1):
+                    t_req = time.perf_counter()
                     solver.refactorize(matrix)
                     solver.solve(b)
+                    recorder.observe(REQUEST_PHASE,
+                                     time.perf_counter() - t_req)
                 dt = max(time.perf_counter() - t_rep, 1e-9)
+                recorder.export()
+                export_serve_gauges(
+                    throughput_rps=(args.repeat - 1) / dt)
+                stats = recorder.summary()[REQUEST_PHASE]
                 print(f"{args.repeat - 1} warm refactorize+solve "
                       f"request(s) in {dt:.3f}s "
-                      f"({(args.repeat - 1) / dt:.1f} req/s)")
+                      f"({(args.repeat - 1) / dt:.1f} req/s, "
+                      f"p50 {stats['p50_ms']:.3f}ms "
+                      f"p95 {stats['p95_ms']:.3f}ms)")
             print(f"factor nnz {solver.factor_nnz}")
         session.finish()
         if args.metrics:
@@ -675,6 +720,140 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import threading
+
+    from repro.serve.server import ServeConfig, SolveServer, run_unix_server
+
+    config = ServeConfig(
+        coalesce_window_s=args.window / 1e3,
+        max_batch=args.max_batch,
+        max_patterns=args.max_patterns,
+        io_threads=args.io_threads,
+        workers=args.workers,
+        block_size=args.block_size,
+        scheduler=args.scheduler,
+    )
+    server = SolveServer(config)
+    ready = threading.Event()
+    print(f"serving on {args.socket} "
+          f"(coalesce window {args.window:g}ms, max batch "
+          f"{config.max_batch}, rhs_pad {config.effective_rhs_pad()}); "
+          f"send {{\"op\": \"shutdown\"}} or Ctrl-C to stop")
+    try:
+        run_unix_server(server, args.socket, ready=ready)
+    except KeyboardInterrupt:
+        server.shutdown()
+    finally:
+        try:
+            os.unlink(args.socket)
+        except OSError:
+            pass
+    stats = server.stats(export=False)
+    print(f"served {stats['responses']} response(s) over "
+          f"{stats['patterns']} pattern(s), "
+          f"{stats['errors']} error(s)")
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.serve.bench import BenchConfig, run_bench
+
+    session = ObsSession(args, "serve-bench")
+    tracer = None
+    if args.metrics or session.enabled:
+        tracer = enable_tracing()
+        tracer.reset()
+    session.start()
+    try:
+        config = BenchConfig(
+            family=args.family,
+            patterns=args.patterns,
+            clients=args.clients,
+            requests=args.requests,
+            mode=args.mode,
+            rate=args.rate,
+            seed=args.seed,
+            max_n=args.max_n,
+            min_n=args.min_n,
+            coalesce_window_s=args.window / 1e3,
+            max_batch=args.max_batch,
+            verify=not args.no_verify,
+            baseline=not args.no_baseline,
+        )
+        with span("serve.bench"):
+            result = run_bench(config)
+
+        sizes = result["config"]["sizes"]
+        print(f"workload: {args.patterns} x {args.family} "
+              f"(n = {sizes}), {args.requests} requests, "
+              f"{args.mode} loop"
+              + (f" @ {args.rate:g} req/s" if args.mode == "open" else
+                 f" x {args.clients} clients"))
+        for label in ("coalesced", "baseline"):
+            phase = result.get(label)
+            if phase is None:
+                continue
+            lat = phase["latency_ms"]
+            print(f"  {label:<10} {phase['throughput_rps']:>9.1f} req/s  "
+                  f"batch {phase['coalesce']['batch_mean']:>5.2f}  "
+                  f"p50 {lat.get('p50_ms', 0.0):>7.3f}ms  "
+                  f"p95 {lat.get('p95_ms', 0.0):>7.3f}ms  "
+                  f"p99 {lat.get('p99_ms', 0.0):>7.3f}ms"
+                  + (f"  ({len(phase['errors'])} error(s))"
+                     if phase["errors"] else ""))
+        if "speedup_coalesce" in result:
+            print(f"  coalescing speedup: "
+                  f"{result['speedup_coalesce']:.2f}x "
+                  f"(serve.speedup.coalesce)")
+        if "verify" in result:
+            v = result["verify"]
+            status = "bit-identical" if v["bit_identical"] else \
+                f"{v['mismatches']} MISMATCH(ES)"
+            print(f"  verification: {v['checked']} response(s) vs direct "
+                  f"solves: {status}")
+        session.finish()
+        if args.metrics:
+            artifact = RunArtifact(
+                matrix=f"fuzz:{args.family}", kind="serve",
+                n=max(sizes),
+                config=result["config"],
+                report={
+                    "throughput_rps":
+                        result["coalesced"]["throughput_rps"],
+                    "speedup_coalesce":
+                        result.get("speedup_coalesce"),
+                    "latency_ms": result["coalesced"]["latency_ms"],
+                    "baseline_rps":
+                        (result.get("baseline") or {})
+                        .get("throughput_rps"),
+                    "bit_identical":
+                        (result.get("verify") or {})
+                        .get("bit_identical"),
+                },
+                metrics=global_registry().snapshot(),
+                spans=[s.to_dict() for s in tracer.spans],
+                telemetry=session.telemetry_dict(),
+                profile=session.profile_dict(),
+                created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+            )
+            artifact.save(args.metrics)
+            print(f"wrote run artifact to {args.metrics} "
+                  f"({len(artifact.metrics)} metrics)")
+            if args.history:
+                store = HistoryStore(args.history)
+                entry = store.add(artifact)
+                print(f"recorded in history as {entry.path} "
+                      f"(key {entry.key})")
+        if "verify" in result and not result["verify"]["bit_identical"]:
+            return 1
+        return 0
+    finally:
+        session.finish()
+        if tracer is not None:
+            disable_tracing()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -732,6 +911,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--rhs", type=int, default=1,
                          help="number of right-hand sides (solved as one "
                               "blocked panel)")
+    p_solve.add_argument("--rhs-pad", type=int, default=1,
+                         help="batch-invariant solve width: zero-pad "
+                              "every solve to this panel width so "
+                              "results are bit-identical regardless of "
+                              "batching (default 1 = off; see "
+                              "docs/SERVING.md)")
     p_solve.add_argument("--repeat", type=int, default=1,
                          help="warm refactorize+solve requests per solver "
                               "(adds wall-clock latency samples for the "
@@ -854,6 +1039,83 @@ def build_parser() -> argparse.ArgumentParser:
                              "artifact afterwards")
     add_obs_args(p_hist)
 
+    p_srv = sub.add_parser(
+        "serve", help="long-lived multi-tenant solve server on a unix "
+                      "socket (NDJSON protocol, request coalescing into "
+                      "blocked multi-RHS panels; see docs/SERVING.md)"
+    )
+    p_srv.add_argument("--socket", default="repro-serve.sock",
+                       metavar="PATH",
+                       help="unix socket path (default: "
+                            "repro-serve.sock)")
+    p_srv.add_argument("--window", type=float, default=2.0,
+                       help="coalescing window in milliseconds; 0 "
+                            "drains the backlog without waiting "
+                            "(default 2)")
+    p_srv.add_argument("--max-batch", type=int, default=32,
+                       help="largest blocked panel one solve sweep "
+                            "carries; 1 disables coalescing "
+                            "(default 32)")
+    p_srv.add_argument("--max-patterns", type=int, default=64,
+                       help="bound on concurrently registered patterns "
+                            "(default 64)")
+    p_srv.add_argument("--io-threads", type=int, default=8,
+                       help="socket front-end thread-pool width "
+                            "(default 8)")
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="numeric-phase worker threads per solver "
+                            "(default: tuning)")
+    p_srv.add_argument("--block-size", type=int, default=None,
+                       help="dense-kernel panel width (default: tuning)")
+    p_srv.add_argument("--scheduler",
+                       choices=["level", "dag", "procs"], default=None,
+                       help="numeric-phase scheduler (default: tuning)")
+
+    p_sb = sub.add_parser(
+        "serve-bench", help="load generator against an in-process solve "
+                            "server: coalesced vs uncoalesced phases, "
+                            "bit-identity verification, serve.* gauges"
+    )
+    p_sb.add_argument("--family", default="spd_random",
+                      help="fuzz-suite matrix family "
+                           "(default: spd_random)")
+    p_sb.add_argument("--mode", choices=["closed", "open"],
+                      default="closed",
+                      help="closed loop (fixed concurrency) or open "
+                           "loop (fixed arrival rate; default closed)")
+    p_sb.add_argument("--patterns", type=int, default=2,
+                      help="distinct tenants / matrices (default 2)")
+    p_sb.add_argument("--clients", type=int, default=16,
+                      help="closed-loop client threads (default 16)")
+    p_sb.add_argument("--requests", type=int, default=400,
+                      help="solve requests per phase (default 400)")
+    p_sb.add_argument("--rate", type=float, default=500.0,
+                      help="open-loop arrival rate in req/s "
+                           "(default 500)")
+    p_sb.add_argument("--seed", type=int, default=0)
+    p_sb.add_argument("--max-n", type=int, default=96,
+                      help="generator size cap (default 96)")
+    p_sb.add_argument("--min-n", type=int, default=24,
+                      help="skip generated cases smaller than this "
+                           "(default 24)")
+    p_sb.add_argument("--window", type=float, default=2.0,
+                      help="coalescing window in ms (default 2)")
+    p_sb.add_argument("--max-batch", type=int, default=16,
+                      help="largest coalesced panel (default 16)")
+    p_sb.add_argument("--no-verify", action="store_true",
+                      help="skip the bit-identity check against direct "
+                           "solves")
+    p_sb.add_argument("--no-baseline", action="store_true",
+                      help="skip the uncoalesced baseline phase (no "
+                           "speedup reported)")
+    p_sb.add_argument("--metrics", metavar="FILE", default=None,
+                      help="write a run-artifact JSON (serve.* gauges + "
+                           "phase report)")
+    p_sb.add_argument("--history", metavar="DIR", default=None,
+                      help="with --metrics, append the artifact to this "
+                           "history store (trend gate input)")
+    add_obs_args(p_sb)
+
     p_tel = sub.add_parser(
         "telemetry", help="merge per-process telemetry streams of a "
                           "--telemetry-dir run into one timeline"
@@ -884,6 +1146,8 @@ _COMMANDS = {
     "history": cmd_history,
     "verify": cmd_verify,
     "telemetry": cmd_telemetry,
+    "serve": cmd_serve,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -64,6 +64,17 @@ class SparseSolver:
             (``None`` defers to tuning; see
             :mod:`repro.numeric.schedule` and docs/PERFORMANCE.md).
             Bit-identical across all schedulers.
+        rhs_pad: batch-invariant solve width.  When > 1, every ``solve``
+            with k <= rhs_pad right-hand sides runs as one zero-padded
+            (n, rhs_pad) panel and the real columns are sliced out.
+            Every dense kernel then sees batch-size-independent shapes,
+            so each response is *bit-identical* no matter how requests
+            were batched — the guarantee the coalescing serve layer
+            (:mod:`repro.serve`) is built on.  The panel sweep amortizes
+            its Python overhead across the width, so padding costs
+            little wall-clock even for a single RHS (see
+            docs/SERVING.md).  Default 1 (off: solve at the natural
+            width).
         use_cache: share the symbolic analysis through the process-global
             :func:`~repro.numeric.cache.analysis_cache` so repeated solver
             construction over one pattern skips ordering and symbolic
@@ -80,14 +91,18 @@ class SparseSolver:
         workers: int | None = None,
         block_size: int | None = None,
         scheduler: str | None = None,
+        rhs_pad: int = 1,
         use_cache: bool = True,
     ) -> None:
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("solver requires a square matrix")
+        if rhs_pad < 1:
+            raise ValueError("rhs_pad must be >= 1")
         self.kind = kind
         self.workers = workers
         self.block_size = block_size
         self.scheduler = scheduler
+        self.rhs_pad = rhs_pad
         # The pattern this solver was built for (refactorize validates
         # against it, so pattern changes fail loudly).
         self._src_indptr = matrix.indptr.copy()
@@ -203,6 +218,17 @@ class SparseSolver:
             raise ValueError("b must be a vector or an (n, k) array")
         if b.shape[0] != self.symbolic.n:
             raise ValueError("dimension mismatch in solve")
+        k = 1 if b.ndim == 1 else b.shape[1]
+        # Batch-invariant padding: widen to a fixed (n, rhs_pad) panel so
+        # every dense kernel runs at batch-size-independent shapes —
+        # column j's bits then depend only on b[:, j], never on how many
+        # other columns rode along (see the rhs_pad constructor doc).
+        padded_from = None
+        if self.rhs_pad > 1 and k < self.rhs_pad:
+            wide = np.zeros((b.shape[0], self.rhs_pad), dtype=np.float64)
+            wide[:, :k] = b if b.ndim == 2 else b[:, None]
+            padded_from = b.ndim
+            b = wide
         perm = self.symbolic.perm
         with span("numeric.solve"):
             if method == "csc":
@@ -225,12 +251,13 @@ class SparseSolver:
                     px = solve_upper_csc_direct(self._upper, y)
             reg = global_registry()
             reg.counter("numeric.solve.count").inc()
-            reg.counter("numeric.solve.rhs").inc(
-                1 if b.ndim == 1 else b.shape[1])
+            reg.counter("numeric.solve.rhs").inc(k)
         # Undo the fill-reducing (symmetric) permutation: px solves the
         # permuted system, so x[perm[i]] = px[i] (row-wise for panels).
         x = np.empty_like(px)
         x[perm] = px
+        if padded_from is not None:
+            x = x[:, 0] if padded_from == 1 else x[:, :k]
         return x
 
     def solve_refined(self, matrix: CSCMatrix, b: np.ndarray,

@@ -72,6 +72,16 @@ WATCHED_METRICS: dict[str, str] = {
     "latency.numeric.solve.p50_ms": "lower",
     "latency.numeric.solve.p95_ms": "lower",
     "latency.numeric.solve.p99_ms": "lower",
+    # warm-serving layer (repro.serve): the same gauge names are
+    # exported by the solve server, `serve-bench`, and the
+    # `solve --repeat/--procs` warm loop, so the gate sees one
+    # comparable series per metric (see repro.serve.metrics).
+    "serve.latency.request.p50_ms": "lower",
+    "serve.latency.request.p95_ms": "lower",
+    "serve.latency.request.p99_ms": "lower",
+    "serve.throughput.rps": "higher",
+    "serve.coalesce.batch_mean": "higher",
+    "serve.speedup.coalesce": "higher",
 }
 
 

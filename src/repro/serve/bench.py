@@ -1,0 +1,288 @@
+"""Load generator for the solve server (``repro serve-bench``).
+
+Drives a :class:`~repro.serve.server.SolveServer` with multi-tenant
+solve traffic built from the fuzz-suite matrix families
+(:mod:`repro.verify.generators`) and measures what serving adds over the
+raw solver: request latency percentiles, sustained throughput, and the
+coalescing win.
+
+Two traffic shapes:
+
+* **closed loop** — ``clients`` threads each keep exactly one request in
+  flight (think: simulation processes blocked on their solve).
+  Concurrency is fixed, arrival rate adapts to service time.
+* **open loop** — requests arrive on a fixed schedule at ``rate``
+  requests/second regardless of completions (think: independent
+  tenants).  Queueing shows up as latency, which is the point.
+
+Every run measures two phases over the *same* workload: the coalescing
+server as configured, and an uncoalesced baseline
+(``max_batch=1, rhs_pad=1`` — natural per-request serving).  The
+throughput ratio lands in ``serve.speedup.coalesce``; the acceptance bar
+for same-pattern single-RHS traffic is >= 5x (ISSUE 8, measured in
+:func:`run_bench` and gated nowhere — the trend gate watches it
+instead).
+
+Bit-identity: with ``verify=True`` (default) every coalesced response is
+compared — ``np.array_equal``, not allclose — against a direct
+``SparseSolver(A, rhs_pad=max_batch)`` solve of the same right-hand
+side, proving the coalescing layer never changes a single bit of any
+answer (see docs/SERVING.md for why ``rhs_pad`` makes that possible).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.numeric.solver import SparseSolver
+from repro.obs.metrics import global_registry
+from repro.serve.metrics import REQUEST_PHASE, export_serve_gauges
+from repro.serve.server import ServeConfig, SolveServer
+from repro.sparse.csc import CSCMatrix
+from repro.verify.generators import build_case, family_names
+
+
+@dataclass
+class BenchConfig:
+    """Workload and server knobs for one ``serve-bench`` run."""
+
+    family: str = "spd_random"      # fuzz-suite matrix family
+    patterns: int = 2               # distinct tenants (matrices)
+    clients: int = 16               # closed-loop concurrency
+    requests: int = 400             # total solve requests per phase
+    mode: str = "closed"            # "closed" | "open"
+    rate: float = 500.0             # open-loop arrivals per second
+    rhs_pool: int = 8               # distinct right-hand sides per pattern
+    seed: int = 0
+    max_n: int = 96                 # generator size cap
+    min_n: int = 24                 # skip degenerate tiny cases
+    coalesce_window_s: float = 0.002
+    max_batch: int = 16
+    verify: bool = True             # bit-identity check vs direct solver
+    baseline: bool = True           # also run the uncoalesced phase
+
+    def validate(self) -> None:
+        if self.family not in family_names():
+            raise ValueError(
+                f"unknown family {self.family!r}; "
+                f"choose from {family_names()}")
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if min(self.patterns, self.clients, self.requests,
+               self.rhs_pool, self.max_batch) < 1:
+            raise ValueError("patterns/clients/requests/rhs_pool/"
+                             "max_batch must all be >= 1")
+
+
+def build_workload(config: BenchConfig
+                   ) -> tuple[list[CSCMatrix], list[list[np.ndarray]]]:
+    """Deterministic matrices + right-hand-side pools for the run.
+
+    Fuzz cases that the generator expects to be singular are skipped
+    (the bench measures serving, not failure handling), as are cases
+    below ``min_n`` — a 2x2 tenant measures dispatch overhead, not
+    coalescing.
+    """
+    matrices: list[CSCMatrix] = []
+    seed = config.seed
+    while len(matrices) < config.patterns:
+        case = build_case(config.family, seed, max_n=config.max_n)
+        seed += 1
+        if case.expect != "ok" or case.matrix.n_rows < config.min_n:
+            continue
+        matrices.append(case.matrix)
+        if seed > config.seed + 100 * config.patterns:
+            raise RuntimeError(
+                f"family {config.family!r} yields too few solvable cases")
+    pools = []
+    for i, matrix in enumerate(matrices):
+        rng = np.random.default_rng(config.seed * 7919 + i)
+        pools.append([rng.standard_normal(matrix.n_rows)
+                      for _ in range(config.rhs_pool)])
+    return matrices, pools
+
+
+def _run_phase(matrices: list[CSCMatrix],
+               pools: list[list[np.ndarray]],
+               config: BenchConfig,
+               server_config: ServeConfig,
+               label: str) -> dict:
+    """Run one traffic phase against a fresh server; return its stats.
+
+    Factorization happens before the clock starts — the phase measures
+    warm serving, which is the workload the server exists for.
+    """
+    server = SolveServer(server_config)
+    patterns = [server.factor(m)["pattern"] for m in matrices]
+    records: list[tuple[int, int, np.ndarray]] = []
+    records_lock = threading.Lock()
+    errors: list[str] = []
+
+    def pick(i: int) -> tuple[int, int]:
+        # Deterministic request mix: round-robin over patterns, striding
+        # through each pattern's RHS pool.
+        pi = i % len(patterns)
+        return pi, (i // len(patterns)) % len(pools[pi])
+
+    t0 = time.perf_counter()
+    if config.mode == "closed":
+        counter = itertools.count()
+
+        def client() -> None:
+            while True:
+                i = next(counter)
+                if i >= config.requests:
+                    return
+                pi, ri = pick(i)
+                try:
+                    x = server.solve(patterns[pi], pools[pi][ri])
+                except Exception as exc:      # surface, don't hang peers
+                    with records_lock:
+                        errors.append(str(exc))
+                    return
+                with records_lock:
+                    records.append((pi, ri, x))
+
+        threads = [threading.Thread(target=client, daemon=True)
+                   for _ in range(config.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    else:
+        # Open loop: submissions at fixed arrival times, completions
+        # collected afterwards.  Latency (measured server-side from
+        # enqueue) then includes queueing delay under overload.
+        interval = 1.0 / config.rate
+        futures = []
+        for i in range(config.requests):
+            target = t0 + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            pi, ri = pick(i)
+            futures.append((pi, ri,
+                            server.submit_solve(patterns[pi],
+                                                pools[pi][ri])))
+        for pi, ri, future in futures:
+            try:
+                records.append((pi, ri, future.result()["x"]))
+            except Exception as exc:
+                errors.append(str(exc))
+    elapsed = time.perf_counter() - t0
+
+    stats = server.stats(export=False)
+    server.shutdown()
+    completed = len(records)
+    return {
+        "label": label,
+        "mode": config.mode,
+        "elapsed_s": elapsed,
+        "completed": completed,
+        "errors": errors,
+        "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": stats["latency_ms"].get(REQUEST_PHASE, {}),
+        "coalesce": stats["coalesce"],
+        "queue_depth_max": stats["queue_depth_max"],
+        "records": records,
+    }
+
+
+def _verify_records(matrices: list[CSCMatrix],
+                    pools: list[list[np.ndarray]],
+                    records: list[tuple[int, int, np.ndarray]],
+                    rhs_pad: int) -> dict:
+    """Bit-compare every served response against direct solves."""
+    references: dict[tuple[int, int], np.ndarray] = {}
+    solvers: dict[int, SparseSolver] = {}
+    mismatches = 0
+    for pi, ri, x in records:
+        key = (pi, ri)
+        if key not in references:
+            if pi not in solvers:
+                solvers[pi] = SparseSolver(matrices[pi],
+                                           rhs_pad=rhs_pad)
+            references[key] = solvers[pi].solve(pools[pi][ri])
+        if not np.array_equal(x, references[key]):
+            mismatches += 1
+    return {"checked": len(records), "mismatches": mismatches,
+            "bit_identical": mismatches == 0}
+
+
+def run_bench(config: BenchConfig | None = None) -> dict:
+    """Run the full bench: coalesced phase, baseline phase, verification.
+
+    Exports the ``serve.*`` gauges (from the *coalesced* phase — that is
+    the configuration the server ships with) into the global registry so
+    the caller's run artifact and the history trend gate pick them up.
+    """
+    config = config or BenchConfig()
+    config.validate()
+    matrices, pools = build_workload(config)
+
+    coalesced = _run_phase(
+        matrices, pools, config,
+        ServeConfig(coalesce_window_s=config.coalesce_window_s,
+                    max_batch=config.max_batch),
+        label="coalesced")
+
+    result = {
+        "config": {
+            "family": config.family,
+            "patterns": config.patterns,
+            "clients": config.clients,
+            "requests": config.requests,
+            "mode": config.mode,
+            "rate": config.rate if config.mode == "open" else None,
+            "max_n": config.max_n,
+            "coalesce_window_ms": config.coalesce_window_s * 1e3,
+            "max_batch": config.max_batch,
+            "sizes": [m.n_rows for m in matrices],
+        },
+        "coalesced": {k: v for k, v in coalesced.items()
+                      if k != "records"},
+    }
+
+    if config.baseline:
+        baseline = _run_phase(
+            matrices, pools, config,
+            ServeConfig(coalesce_window_s=0.0, max_batch=1, rhs_pad=1),
+            label="baseline")
+        result["baseline"] = {k: v for k, v in baseline.items()
+                              if k != "records"}
+        if baseline["throughput_rps"] > 0:
+            result["speedup_coalesce"] = (coalesced["throughput_rps"]
+                                          / baseline["throughput_rps"])
+
+    if config.verify:
+        result["verify"] = _verify_records(
+            matrices, pools, coalesced["records"], config.max_batch)
+
+    # Export the canonical serve.* gauges from the coalesced phase.
+    registry = global_registry()
+    for stat in ("p50_ms", "p95_ms", "p99_ms"):
+        value = coalesced["latency_ms"].get(stat)
+        if value is not None:
+            registry.gauge(
+                f"serve.latency.{REQUEST_PHASE}.{stat}").set(value)
+    export_serve_gauges(
+        throughput_rps=coalesced["throughput_rps"],
+        batch_mean=coalesced["coalesce"]["batch_mean"] or None,
+        queue_depth_max=coalesced["queue_depth_max"],
+        coalesce_speedup=result.get("speedup_coalesce"),
+    )
+    return result
+
+
+def sweep_modes(config: BenchConfig | None = None) -> dict:
+    """Closed- and open-loop runs over one workload (CI smoke helper)."""
+    config = config or BenchConfig()
+    out = {}
+    for mode in ("closed", "open"):
+        out[mode] = run_bench(replace(config, mode=mode))
+    return out

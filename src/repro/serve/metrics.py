@@ -1,0 +1,92 @@
+"""Canonical ``serve.*`` metrics shared by every serving harness.
+
+Three harnesses measure warm-serving behaviour — the long-lived
+:class:`~repro.serve.server.SolveServer`, the ``repro serve-bench`` load
+generator, and the ``solve --repeat/--procs`` warm-loop — and all three
+export the *same* gauge names so the ``repro.obs.history`` trend gate
+sees one comparable series regardless of which harness produced a run:
+
+* ``serve.latency.request.{p50,p95,p99}_ms`` — end-to-end request
+  latency (enqueue to response, including queueing and coalescing wait);
+* ``serve.throughput.rps`` — completed requests per wall-clock second;
+* ``serve.coalesce.batch_mean`` — mean blocked-panel width per solve
+  (1.0 = nothing coalesced);
+* ``serve.queue.depth_max`` — high-water pending-request depth;
+* ``serve.speedup.coalesce`` — bench-only: coalesced throughput over
+  the uncoalesced per-request baseline.
+
+The latency names are deliberately *one* logical phase ("request"), not
+per-op: the history gate compares like with like across harnesses that
+mix factor/refactorize/solve traffic differently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.telemetry import latency_percentiles
+
+#: The logical phase every serving harness reports request latency under.
+REQUEST_PHASE = "request"
+
+#: Gauge names the trend gate watches (see repro.obs.artifact).
+LATENCY_GAUGES = tuple(
+    f"serve.latency.{REQUEST_PHASE}.{stat}"
+    for stat in ("p50_ms", "p95_ms", "p99_ms")
+)
+THROUGHPUT_GAUGE = "serve.throughput.rps"
+BATCH_MEAN_GAUGE = "serve.coalesce.batch_mean"
+QUEUE_DEPTH_GAUGE = "serve.queue.depth_max"
+COALESCE_SPEEDUP_GAUGE = "serve.speedup.coalesce"
+
+
+class LatencyRecorder:
+    """Thread-safe per-phase wall-clock latency samples (seconds).
+
+    ``summary()`` reuses the telemetry percentile schema
+    (count/mean/p50/p95/p99/max in milliseconds) so server stats, bench
+    artifacts, and ``repro telemetry`` reports all read the same way.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: dict[str, list[float]] = {}
+
+    def observe(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            self._samples.setdefault(phase, []).append(float(seconds))
+
+    def count(self, phase: str = REQUEST_PHASE) -> int:
+        with self._lock:
+            return len(self._samples.get(phase, ()))
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            snapshot = {k: list(v) for k, v in self._samples.items()}
+        return latency_percentiles(snapshot)
+
+    def export(self, registry: MetricsRegistry | None = None) -> None:
+        """Set ``serve.latency.<phase>.pXX_ms`` gauges from the samples."""
+        registry = registry if registry is not None else global_registry()
+        for phase, stats in self.summary().items():
+            for stat in ("p50_ms", "p95_ms", "p99_ms"):
+                registry.gauge(
+                    f"serve.latency.{phase}.{stat}").set(stats[stat])
+
+
+def export_serve_gauges(throughput_rps: float | None = None,
+                        batch_mean: float | None = None,
+                        queue_depth_max: float | None = None,
+                        coalesce_speedup: float | None = None,
+                        registry: MetricsRegistry | None = None) -> None:
+    """Set the scalar serving gauges that are not latency percentiles."""
+    registry = registry if registry is not None else global_registry()
+    if throughput_rps is not None:
+        registry.gauge(THROUGHPUT_GAUGE).set(float(throughput_rps))
+    if batch_mean is not None:
+        registry.gauge(BATCH_MEAN_GAUGE).set(float(batch_mean))
+    if queue_depth_max is not None:
+        registry.gauge(QUEUE_DEPTH_GAUGE).set(float(queue_depth_max))
+    if coalesce_speedup is not None:
+        registry.gauge(COALESCE_SPEEDUP_GAUGE).set(float(coalesce_speedup))

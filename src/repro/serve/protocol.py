@@ -1,0 +1,130 @@
+"""Wire protocol of the solve server: newline-delimited JSON.
+
+One request or response per line (NDJSON) over a local stream socket —
+deliberately boring, so any language (or ``nc``) can talk to the server.
+Requests carry an ``op`` plus op-specific fields; responses echo the
+request ``id`` and carry ``ok`` plus either the result payload or an
+``error`` string.
+
+Operations
+----------
+
+``factor``
+    Register a matrix and build (or warm) its per-pattern solver::
+
+        {"op": "factor", "id": 1,
+         "matrix": {"n": 4, "indptr": [...], "indices": [...],
+                    "data": [...]},
+         "kind": "cholesky" | "lu" | null,     # null: infer from symmetry
+         "ordering": "amd"}                    # optional
+        -> {"id": 1, "ok": true, "pattern": "<key>", "n": 4,
+            "factor_nnz": 10, "warm": false}
+
+    ``pattern`` is the handle every later request uses.  Re-sending
+    ``factor`` for a known pattern refactorizes with the new values on
+    the warm path (``"warm": true``).
+
+``solve``
+    One right-hand side against a registered pattern::
+
+        {"op": "solve", "id": 2, "pattern": "<key>", "b": [...]}
+        -> {"id": 2, "ok": true, "x": [...], "batch_k": 5}
+
+    ``batch_k`` reports how many concurrent requests shared the blocked
+    panel this response rode in (1 = not coalesced).  An (n, k) panel
+    may be sent directly as a list of k column lists under ``"bs"``.
+
+``refactorize``
+    New values on the registered pattern (same nonzero layout)::
+
+        {"op": "refactorize", "id": 3, "pattern": "<key>",
+         "data": [...]}
+        -> {"id": 3, "ok": true}
+
+``stats``
+    Server counters, coalescing stats, latency percentiles, and
+    analysis-cache shard stats.
+
+``shutdown``
+    Drain and stop the server.
+
+Errors come back as ``{"id": ..., "ok": false, "error": "..."}`` and
+never tear down the connection.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+#: Recognised request operations.
+OPS = ("factor", "solve", "refactorize", "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid request (unknown op, missing field)."""
+
+
+def matrix_to_wire(matrix: CSCMatrix) -> dict:
+    """JSON-safe dict encoding of a square CSC matrix."""
+    return {
+        "n": int(matrix.n_rows),
+        "indptr": np.asarray(matrix.indptr).tolist(),
+        "indices": np.asarray(matrix.indices).tolist(),
+        "data": np.asarray(matrix.data).tolist(),
+    }
+
+
+def matrix_from_wire(payload: dict) -> CSCMatrix:
+    """Decode :func:`matrix_to_wire` output back into a CSCMatrix."""
+    try:
+        n = int(payload["n"])
+        indptr = np.asarray(payload["indptr"], dtype=np.int64)
+        indices = np.asarray(payload["indices"], dtype=np.int64)
+        data = np.asarray(payload["data"], dtype=np.float64)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad matrix payload: {exc}") from None
+    return CSCMatrix(n, n, indptr, indices, data)
+
+
+def encode(message: dict) -> bytes:
+    """One NDJSON frame (compact JSON + newline)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one NDJSON frame into a message dict."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return message
+
+
+def validate_request(message: dict) -> str:
+    """Check a request's shape; returns its ``op``."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    if op == "factor" and "matrix" not in message:
+        raise ProtocolError("factor request needs a 'matrix' field")
+    if op in ("solve", "refactorize") and "pattern" not in message:
+        raise ProtocolError(f"{op} request needs a 'pattern' field")
+    if op == "solve" and "b" not in message and "bs" not in message:
+        raise ProtocolError("solve request needs 'b' (or 'bs') field")
+    if op == "refactorize" and "data" not in message:
+        raise ProtocolError("refactorize request needs a 'data' field")
+    return op
+
+
+def ok_response(request_id, **payload) -> dict:
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_response(request_id, error: str) -> dict:
+    return {"id": request_id, "ok": False, "error": str(error)}

@@ -1,0 +1,517 @@
+"""The long-lived, multi-tenant solve server.
+
+``SolveServer`` is the threaded core: a table of per-pattern workers,
+each owning one warm :class:`~repro.numeric.solver.SparseSolver`.
+Requests against *distinct* patterns factor and solve concurrently
+(distinct worker threads, distinct analysis-cache shards); requests
+against the *same* pattern share one warm
+:class:`~repro.numeric.engine.NumericContext` and are serialized by
+their worker — which is what lets it coalesce them.
+
+Coalescing: when a worker dequeues a solve request it keeps draining the
+*contiguous* run of solve requests behind it (never past a factor /
+refactorize barrier, so values can never be mixed across a
+refactorization) and waits up to ``coalesce_window_s`` for more to
+arrive, bounded by ``max_batch`` columns.  The batch is stacked into one
+blocked (n, k) panel and solved in a single sweep — concurrent
+single-RHS traffic rides the multi-RHS path that is ~29x faster than
+k separate solves.  Workers are built with
+``SparseSolver(rhs_pad=max_batch)``, so every dense kernel runs at
+batch-size-independent shapes and each response is **bit-identical** no
+matter which requests happened to share its panel (docs/SERVING.md).
+
+The asyncio front end (:func:`serve_unix` / :func:`run_unix_server`)
+speaks the NDJSON protocol of :mod:`repro.serve.protocol` over a unix
+socket, fanning request handling onto a thread pool so concurrent
+connections (and pipelined requests on one connection) coalesce too.
+In-process callers — tests, benchmarks — skip the wire entirely via
+:class:`repro.serve.client.InProcessClient`.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numeric.cache import analysis_cache, pattern_digest
+from repro.numeric.solver import SparseSolver
+from repro.obs import telemetry
+from repro.obs.metrics import global_registry
+from repro.serve import protocol
+from repro.serve.metrics import (
+    REQUEST_PHASE,
+    LatencyRecorder,
+    export_serve_gauges,
+)
+from repro.sparse.csc import CSCMatrix
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of the solve server (see docs/SERVING.md)."""
+
+    #: How long a worker holds a solve batch open waiting for more
+    #: same-pattern requests.  0.0 is *opportunistic* coalescing: drain
+    #: whatever is already queued, never wait.
+    coalesce_window_s: float = 0.002
+    #: Largest blocked panel (columns) one solve sweep carries.
+    #: ``max_batch=1`` disables coalescing entirely (the per-request
+    #: baseline the bench compares against).
+    max_batch: int = 32
+    #: Batch-invariant solve width passed to every per-pattern solver.
+    #: ``None`` (default) tracks ``max_batch`` so responses are
+    #: bit-identical regardless of batching; set 1 to disable padding.
+    rhs_pad: int | None = None
+    #: Bound on concurrently registered patterns (worker threads).
+    max_patterns: int = 64
+    #: Thread-pool width of the socket front end.
+    io_threads: int = 8
+    #: Numeric-phase knobs forwarded to each SparseSolver.
+    workers: int | None = None
+    block_size: int | None = None
+    scheduler: str | None = None
+
+    def effective_rhs_pad(self) -> int:
+        if self.rhs_pad is not None:
+            return max(1, self.rhs_pad)
+        return max(1, self.max_batch)
+
+
+@dataclass
+class _Ticket:
+    """One queued request; ``future`` resolves to the op's payload."""
+
+    op: str                                   # "factor"|"solve"|"refactorize"
+    b: np.ndarray | None = None               # solve: (n, k) panel
+    vector: bool = False                      # solve: request was 1-D
+    matrix: CSCMatrix | None = None           # factor
+    kind: str | None = None                   # factor
+    ordering: str = "amd"                     # factor
+    data: np.ndarray | None = None            # refactorize
+    t_submit: float = field(default_factory=time.perf_counter)
+    future: Future = field(default_factory=Future)
+
+
+class PatternWorker(threading.Thread):
+    """One pattern's FIFO executor: a warm solver + a coalescing queue."""
+
+    def __init__(self, pattern: str, server: "SolveServer") -> None:
+        super().__init__(name=f"serve-{pattern[:12]}", daemon=True)
+        self.pattern = pattern
+        self.server = server
+        self.config = server.config
+        self.solver: SparseSolver | None = None
+        self.matrix: CSCMatrix | None = None
+        self._queue: deque[_Ticket] = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+
+    # -- producer side ------------------------------------------------------
+
+    def submit(self, ticket: _Ticket) -> Future:
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("server is shutting down")
+            self._queue.append(ticket)
+            depth = len(self._queue)
+            self._cond.notify()
+        self.server.note_queue_depth(depth)
+        return ticket.future
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+
+    # -- consumer side ------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return                      # stopped and drained
+                ticket = self._queue.popleft()
+            try:
+                if ticket.op == "solve":
+                    self._run_solve_batch(ticket)
+                elif ticket.op == "factor":
+                    self._run_factor(ticket)
+                elif ticket.op == "refactorize":
+                    self._run_refactorize(ticket)
+                else:
+                    raise ValueError(f"unknown ticket op {ticket.op!r}")
+            except Exception as exc:            # worker must survive
+                logger.exception("serve worker %s: %s failed",
+                                 self.pattern, ticket.op)
+                global_registry().counter("serve.errors").inc()
+                if not ticket.future.done():
+                    ticket.future.set_exception(exc)
+
+    def _coalesce(self, first: _Ticket) -> list[_Ticket]:
+        """Collect the solve batch starting at ``first``.
+
+        Drains only the *contiguous* prefix of solve requests (a
+        factor/refactorize request is a barrier: requests behind it see
+        the new values, never the old ones), waiting up to the window
+        for the queue to refill, until ``max_batch`` columns are held.
+        """
+        batch = [first]
+        columns = first.b.shape[1]
+        max_batch = self.config.max_batch
+        if max_batch <= 1:
+            return batch
+        deadline = time.perf_counter() + self.config.coalesce_window_s
+        while columns < max_batch:
+            with self._cond:
+                while (self._queue and self._queue[0].op == "solve"
+                        and columns < max_batch):
+                    ticket = self._queue.popleft()
+                    batch.append(ticket)
+                    columns += ticket.b.shape[1]
+                if columns >= max_batch or self._stopping:
+                    break
+                if self._queue:
+                    break                       # head is a barrier op
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+        return batch
+
+    def _run_solve_batch(self, first: _Ticket) -> None:
+        if self.solver is None:
+            raise RuntimeError(
+                f"pattern {self.pattern!r} has no factorization yet")
+        batch = self._coalesce(first)
+        panel = (batch[0].b if len(batch) == 1
+                 else np.concatenate([t.b for t in batch], axis=1))
+        k = panel.shape[1]
+        with telemetry.task_span("serve.batch", pattern=self.pattern,
+                                 k=k, requests=len(batch)):
+            x = self.solver.solve(panel)
+        reg = global_registry()
+        reg.counter("serve.coalesce.batches").inc()
+        reg.counter("serve.coalesce.columns").inc(k)
+        self.server.note_batch(k)
+        offset = 0
+        now = time.perf_counter()
+        for ticket in batch:
+            width = ticket.b.shape[1]
+            result = x[:, offset] if ticket.vector \
+                else x[:, offset:offset + width]
+            offset += width
+            self.server.latency.observe(REQUEST_PHASE,
+                                        now - ticket.t_submit)
+            reg.counter("serve.responses").inc()
+            ticket.future.set_result({"x": result, "batch_k": k})
+
+    def _run_factor(self, ticket: _Ticket) -> None:
+        warm = self.solver is not None
+        if warm:
+            # Same pattern, new values: ride the warm refactorize path.
+            self.solver.refactorize(ticket.matrix)
+        else:
+            self.matrix = ticket.matrix
+            self.solver = SparseSolver(
+                ticket.matrix, kind=ticket.kind,
+                ordering=ticket.ordering,
+                workers=self.config.workers,
+                block_size=self.config.block_size,
+                scheduler=self.config.scheduler,
+                rhs_pad=self.config.effective_rhs_pad(),
+            )
+        self.server.latency.observe(
+            REQUEST_PHASE, time.perf_counter() - ticket.t_submit)
+        global_registry().counter("serve.responses").inc()
+        ticket.future.set_result({
+            "pattern": self.pattern,
+            "n": int(ticket.matrix.n_rows),
+            "factor_nnz": int(self.solver.symbolic.factor_nnz),
+            "warm": warm,
+        })
+
+    def _run_refactorize(self, ticket: _Ticket) -> None:
+        if self.solver is None:
+            raise RuntimeError(
+                f"pattern {self.pattern!r} has no factorization yet")
+        matrix = CSCMatrix(
+            self.matrix.n_rows, self.matrix.n_cols,
+            self.matrix.indptr, self.matrix.indices, ticket.data,
+        )
+        self.solver.refactorize(matrix)
+        self.server.latency.observe(
+            REQUEST_PHASE, time.perf_counter() - ticket.t_submit)
+        global_registry().counter("serve.responses").inc()
+        ticket.future.set_result({"pattern": self.pattern})
+
+
+class SolveServer:
+    """Multi-tenant solve service over per-pattern workers.
+
+    In-process entry points (used by :class:`InProcessClient`, tests,
+    and the bench) take and return numpy arrays directly; the protocol
+    entry point :meth:`handle` speaks the NDJSON dict format.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.latency = LatencyRecorder()
+        self._workers: dict[str, PatternWorker] = {}
+        self._table_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._batch_columns = 0
+        self._batch_count = 0
+        self._batch_max = 0
+        self._queue_depth_max = 0
+        self._shutdown = threading.Event()
+        self._started = time.perf_counter()
+
+    # -- stats hooks (called by workers) ------------------------------------
+
+    def note_batch(self, k: int) -> None:
+        with self._stats_lock:
+            self._batch_columns += k
+            self._batch_count += 1
+            self._batch_max = max(self._batch_max, k)
+
+    def note_queue_depth(self, depth: int) -> None:
+        with self._stats_lock:
+            self._queue_depth_max = max(self._queue_depth_max, depth)
+
+    # -- pattern table ------------------------------------------------------
+
+    def pattern_key(self, matrix: CSCMatrix, kind: str,
+                    ordering: str) -> str:
+        return f"{pattern_digest(matrix)}:{kind}:{ordering}"
+
+    def _worker(self, pattern: str) -> PatternWorker:
+        with self._table_lock:
+            worker = self._workers.get(pattern)
+        if worker is None:
+            raise KeyError(
+                f"unknown pattern {pattern!r}; send a factor request "
+                "first")
+        return worker
+
+    # -- in-process API (numpy in, numpy out) -------------------------------
+
+    def submit_factor(self, matrix: CSCMatrix, kind: str | None = None,
+                      ordering: str = "amd") -> Future:
+        if self._shutdown.is_set():
+            raise RuntimeError("server is shutting down")
+        if matrix.n_rows != matrix.n_cols:
+            raise ValueError("factor requires a square matrix")
+        if kind is None:
+            kind = "cholesky" if matrix.is_symmetric() else "lu"
+        pattern = self.pattern_key(matrix, kind, ordering)
+        with self._table_lock:
+            worker = self._workers.get(pattern)
+            if worker is None:
+                if len(self._workers) >= self.config.max_patterns:
+                    raise RuntimeError(
+                        f"pattern table full "
+                        f"({self.config.max_patterns} patterns); "
+                        "shut down idle tenants or raise max_patterns")
+                worker = PatternWorker(pattern, self)
+                self._workers[pattern] = worker
+                worker.start()
+        global_registry().counter("serve.requests.factor").inc()
+        return worker.submit(_Ticket(op="factor", matrix=matrix,
+                                     kind=kind, ordering=ordering))
+
+    def submit_solve(self, pattern: str, b: np.ndarray) -> Future:
+        b = np.asarray(b, dtype=np.float64)
+        vector = b.ndim == 1
+        if vector:
+            b = b[:, None]
+        if b.ndim != 2:
+            raise ValueError("b must be a vector or an (n, k) array")
+        global_registry().counter("serve.requests.solve").inc()
+        return self._worker(pattern).submit(
+            _Ticket(op="solve", b=b, vector=vector))
+
+    def submit_refactorize(self, pattern: str,
+                           data: np.ndarray) -> Future:
+        data = np.asarray(data, dtype=np.float64)
+        global_registry().counter("serve.requests.refactorize").inc()
+        return self._worker(pattern).submit(
+            _Ticket(op="refactorize", data=data))
+
+    def factor(self, matrix: CSCMatrix, kind: str | None = None,
+               ordering: str = "amd") -> dict:
+        return self.submit_factor(matrix, kind, ordering).result()
+
+    def solve(self, pattern: str, b: np.ndarray) -> np.ndarray:
+        return self.submit_solve(pattern, b).result()["x"]
+
+    def refactorize(self, pattern: str, data: np.ndarray) -> dict:
+        return self.submit_refactorize(pattern, data).result()
+
+    # -- stats / lifecycle --------------------------------------------------
+
+    def stats(self, export: bool = True) -> dict:
+        with self._stats_lock:
+            batch_mean = (self._batch_columns / self._batch_count
+                          if self._batch_count else 0.0)
+            batch_max = self._batch_max
+            queue_depth_max = self._queue_depth_max
+        reg = global_registry()
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        responses = reg.value("serve.responses", 0)
+        stats = {
+            "patterns": len(self._workers),
+            "responses": int(responses),
+            "errors": int(reg.value("serve.errors", 0)),
+            "uptime_s": elapsed,
+            "coalesce": {
+                "batches": self._batch_count,
+                "batch_mean": batch_mean,
+                "batch_max": batch_max,
+            },
+            "queue_depth_max": queue_depth_max,
+            "latency_ms": self.latency.summary(),
+            "analysis_cache": analysis_cache().stats(),
+            "analysis_cache_shards": analysis_cache().shard_stats(),
+        }
+        if export:
+            self.latency.export()
+            export_serve_gauges(batch_mean=batch_mean or None,
+                                queue_depth_max=queue_depth_max)
+        return stats
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._shutdown.set()
+        with self._table_lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            worker.stop()
+        if wait:
+            for worker in workers:
+                worker.join(timeout=30.0)
+        self.stats(export=True)
+
+    # -- protocol entry point -----------------------------------------------
+
+    def handle(self, message: dict) -> dict:
+        """Serve one protocol request dict; always returns a response."""
+        request_id = message.get("id")
+        try:
+            op = protocol.validate_request(message)
+            if op == "factor":
+                matrix = protocol.matrix_from_wire(message["matrix"])
+                result = self.submit_factor(
+                    matrix, kind=message.get("kind"),
+                    ordering=message.get("ordering", "amd"),
+                ).result()
+                return protocol.ok_response(request_id, **result)
+            if op == "solve":
+                if "bs" in message:
+                    b = np.asarray(message["bs"], dtype=np.float64).T
+                else:
+                    b = np.asarray(message["b"], dtype=np.float64)
+                result = self.submit_solve(
+                    message["pattern"], b).result()
+                x = result["x"]
+                return protocol.ok_response(
+                    request_id, batch_k=result["batch_k"],
+                    **({"xs": x.T.tolist()} if x.ndim == 2
+                       else {"x": x.tolist()}))
+            if op == "refactorize":
+                result = self.submit_refactorize(
+                    message["pattern"],
+                    np.asarray(message["data"], dtype=np.float64),
+                ).result()
+                return protocol.ok_response(request_id, **result)
+            if op == "stats":
+                return protocol.ok_response(request_id,
+                                            stats=self.stats())
+            # shutdown
+            self.shutdown(wait=False)
+            return protocol.ok_response(request_id, stopping=True)
+        except Exception as exc:
+            global_registry().counter("serve.errors").inc()
+            return protocol.error_response(request_id, str(exc))
+
+
+# -- asyncio socket front end -------------------------------------------------
+
+
+async def serve_unix(server: SolveServer, path: str):
+    """Start the NDJSON front end on a unix socket; returns the
+    asyncio server object.  Each request line becomes its own task on a
+    thread pool, so pipelined requests from one connection (and requests
+    from many connections) reach the coalescing queues concurrently."""
+    import asyncio
+    from concurrent.futures import ThreadPoolExecutor
+
+    pool = ThreadPoolExecutor(max_workers=server.config.io_threads,
+                              thread_name_prefix="serve-io")
+
+    async def on_client(reader, writer):
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        pending: set = set()
+
+        async def one(line: bytes) -> None:
+            try:
+                request = protocol.decode(line)
+            except protocol.ProtocolError as exc:
+                response = protocol.error_response(None, str(exc))
+            else:
+                response = await loop.run_in_executor(
+                    pool, server.handle, request)
+            async with write_lock:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.ensure_future(one(line))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            writer.close()
+
+    # NDJSON frames carry whole matrices; the default 64 KiB line limit
+    # is far too small for a factor request.
+    return await asyncio.start_unix_server(on_client, path=path,
+                                           limit=256 * 1024 * 1024)
+
+
+def run_unix_server(server: SolveServer, path: str,
+                    ready: threading.Event | None = None) -> None:
+    """Blocking runner: serve on ``path`` until the server shuts down.
+
+    ``ready`` (if given) is set once the socket is listening — the
+    hand-shake tests and the CLI's startup message use it.
+    """
+    import asyncio
+
+    async def main() -> None:
+        sock_server = await serve_unix(server, path)
+        if ready is not None:
+            ready.set()
+        logger.info("serving on %s", path)
+        try:
+            while not server._shutdown.is_set():
+                await asyncio.sleep(0.05)
+        finally:
+            sock_server.close()
+            await sock_server.wait_closed()
+
+    asyncio.run(main())
