@@ -736,6 +736,26 @@ def cmd_serve(args) -> int:
     )
     server = SolveServer(config)
     ready = threading.Event()
+    # A crashed previous run leaves its socket file behind and the bind
+    # would fail with "address already in use"; clear it — unless a
+    # live server is still listening there.
+    if os.path.exists(args.socket):
+        import socket as socket_mod
+
+        probe = socket_mod.socket(socket_mod.AF_UNIX)
+        try:
+            probe.connect(args.socket)
+        except OSError:
+            try:
+                os.unlink(args.socket)
+            except OSError:
+                pass
+        else:
+            print(f"error: a server is already listening on "
+                  f"{args.socket}", file=sys.stderr)
+            return 1
+        finally:
+            probe.close()
     print(f"serving on {args.socket} "
           f"(coalesce window {args.window:g}ms, max batch "
           f"{config.max_batch}, rhs_pad {config.effective_rhs_pad()}); "

@@ -110,6 +110,10 @@ class PatternWorker(threading.Thread):
         self.config = server.config
         self.solver: SparseSolver | None = None
         self.matrix: CSCMatrix | None = None
+        #: Matrix size, pinned at registration so ``submit_solve`` can
+        #: reject wrong-length right-hand sides before they reach (and
+        #: poison) a coalesced batch.
+        self.n: int | None = None
         self._queue: deque[_Ticket] = deque()
         self._cond = threading.Condition()
         self._stopping = False
@@ -164,6 +168,10 @@ class PatternWorker(threading.Thread):
         factor/refactorize request is a barrier: requests behind it see
         the new values, never the old ones), waiting up to the window
         for the queue to refill, until ``max_batch`` columns are held.
+        A queued panel that would push the batch past ``max_batch``
+        columns is left for the next batch, so the assembled panel never
+        exceeds ``max_batch`` (``first`` itself may — an oversized single
+        request — and :meth:`_solve_panel` chunks it back down).
         """
         batch = [first]
         columns = first.b.shape[1]
@@ -174,31 +182,59 @@ class PatternWorker(threading.Thread):
         while columns < max_batch:
             with self._cond:
                 while (self._queue and self._queue[0].op == "solve"
-                        and columns < max_batch):
+                        and columns + self._queue[0].b.shape[1]
+                        <= max_batch):
                     ticket = self._queue.popleft()
                     batch.append(ticket)
                     columns += ticket.b.shape[1]
                 if columns >= max_batch or self._stopping:
                     break
                 if self._queue:
-                    break                       # head is a barrier op
+                    break           # barrier op, or next panel won't fit
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     break
                 self._cond.wait(remaining)
         return batch
 
+    def _solve_panel(self, panel: np.ndarray) -> np.ndarray:
+        """Solve one blocked panel at batch-invariant widths.
+
+        A panel wider than the padding width (a single oversized
+        request — coalescing never assembles one) is solved in
+        ``rhs_pad``-wide chunks so every dense kernel still runs at the
+        fixed ``(n, rhs_pad)`` shape and the bit-identity guarantee
+        holds for any k.
+        """
+        pad = self.config.effective_rhs_pad()
+        if pad > 1 and panel.shape[1] > pad:
+            return np.concatenate(
+                [self.solver.solve(panel[:, i:i + pad])
+                 for i in range(0, panel.shape[1], pad)], axis=1)
+        return self.solver.solve(panel)
+
     def _run_solve_batch(self, first: _Ticket) -> None:
-        if self.solver is None:
-            raise RuntimeError(
-                f"pattern {self.pattern!r} has no factorization yet")
         batch = self._coalesce(first)
-        panel = (batch[0].b if len(batch) == 1
-                 else np.concatenate([t.b for t in batch], axis=1))
-        k = panel.shape[1]
-        with telemetry.task_span("serve.batch", pattern=self.pattern,
-                                 k=k, requests=len(batch)):
-            x = self.solver.solve(panel)
+        try:
+            if self.solver is None:
+                raise RuntimeError(
+                    f"pattern {self.pattern!r} has no factorization yet")
+            panel = (batch[0].b if len(batch) == 1
+                     else np.concatenate([t.b for t in batch], axis=1))
+            k = panel.shape[1]
+            with telemetry.task_span("serve.batch", pattern=self.pattern,
+                                     k=k, requests=len(batch)):
+                x = self._solve_panel(panel)
+        except Exception as exc:
+            # A failed coalesced solve must fail *every* rider: a batch
+            # peer left unresolved would hang its client in
+            # Future.result() forever.  run() re-logs and counts via the
+            # re-raise (first's future is already done, so its handler
+            # skips it).
+            for ticket in batch:
+                if not ticket.future.done():
+                    ticket.future.set_exception(exc)
+            raise
         reg = global_registry()
         reg.counter("serve.coalesce.batches").inc()
         reg.counter("serve.coalesce.columns").inc(k)
@@ -323,6 +359,7 @@ class SolveServer:
                         f"({self.config.max_patterns} patterns); "
                         "shut down idle tenants or raise max_patterns")
                 worker = PatternWorker(pattern, self)
+                worker.n = int(matrix.n_rows)
                 self._workers[pattern] = worker
                 worker.start()
         global_registry().counter("serve.requests.factor").inc()
@@ -330,15 +367,22 @@ class SolveServer:
                                      kind=kind, ordering=ordering))
 
     def submit_solve(self, pattern: str, b: np.ndarray) -> Future:
+        worker = self._worker(pattern)
         b = np.asarray(b, dtype=np.float64)
         vector = b.ndim == 1
         if vector:
             b = b[:, None]
         if b.ndim != 2:
             raise ValueError("b must be a vector or an (n, k) array")
+        # Reject wrong-length b at submission: inside the worker the
+        # mismatch would surface mid-batch, where it is hard to
+        # attribute and would fail the batch's co-riders too.
+        if worker.n is not None and b.shape[0] != worker.n:
+            raise ValueError(
+                f"b has {b.shape[0]} rows but pattern {pattern!r} is "
+                f"{worker.n}x{worker.n}")
         global_registry().counter("serve.requests.solve").inc()
-        return self._worker(pattern).submit(
-            _Ticket(op="solve", b=b, vector=vector))
+        return worker.submit(_Ticket(op="solve", b=b, vector=vector))
 
     def submit_refactorize(self, pattern: str,
                            data: np.ndarray) -> Future:

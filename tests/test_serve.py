@@ -306,6 +306,85 @@ class TestSolveServer:
         reference = SparseSolver(matrix, rhs_pad=8)
         assert np.array_equal(x, reference.solve(panel))
 
+    def test_multi_rhs_coalescing_capped_and_bit_identical(self, server):
+        # Concurrent multi-column panels: no batch may overshoot
+        # max_batch (that would solve at a width > rhs_pad and break
+        # batch invariance), and every response must still match the
+        # sequential per-request reference bit for bit.
+        matrix = grid_laplacian_2d(6, seed=22)
+        client = InProcessClient(server)
+        pattern = client.factor(matrix)
+        widths = [3, 4, 2, 5, 3, 4, 2, 5]
+        panels = [_rhs(matrix, seed=30 + i, k=w)
+                  for i, w in enumerate(widths)]
+        results = [None] * len(panels)
+
+        def go(i):
+            results[i] = client.solve(pattern, panels[i])
+
+        threads = [threading.Thread(target=go, args=(i,))
+                   for i in range(len(panels))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reference = SparseSolver(matrix, rhs_pad=8)
+        for panel, result in zip(panels, results):
+            assert np.array_equal(result, reference.solve(panel))
+        assert server.stats(export=False)["coalesce"]["batch_max"] <= 8
+
+    def test_oversized_panel_chunked_bit_identically(self, server):
+        # A single request wider than max_batch is solved in
+        # rhs_pad-wide chunks, so each column's bits still equal a
+        # lone single-RHS solve — batching-independent for any k.
+        matrix = grid_laplacian_2d(5, seed=23)
+        client = InProcessClient(server)
+        pattern = client.factor(matrix)
+        panel = _rhs(matrix, seed=40, k=19)        # > max_batch = 8
+        x = client.solve(pattern, panel)
+        assert x.shape == panel.shape
+        reference = SparseSolver(matrix, rhs_pad=8)
+        for j in range(panel.shape[1]):
+            assert np.array_equal(x[:, j], reference.solve(panel[:, j]))
+
+    def test_failed_batch_fails_every_rider(self, server):
+        # A solve failure mid-batch must reject every coalesced
+        # ticket's future — an unresolved peer would hang its client
+        # in Future.result() forever.
+        from repro.serve.server import _Ticket
+
+        matrix = grid_laplacian_2d(5, seed=24)
+        pattern = server.factor(matrix)["pattern"]
+        worker = server._worker(pattern)
+
+        def boom(panel):
+            raise RuntimeError("solver exploded")
+
+        worker.solver.solve = boom
+        tickets = [_Ticket(op="solve",
+                           b=np.ones((matrix.n_rows, 1)), vector=True)
+                   for _ in range(6)]
+        # Enqueue all six under the worker's lock so they coalesce
+        # into one batch when it wakes.
+        with worker._cond:
+            worker._queue.extend(tickets)
+            worker._cond.notify()
+        for ticket in tickets:
+            with pytest.raises(RuntimeError, match="solver exploded"):
+                ticket.future.result(timeout=10.0)
+
+    def test_wrong_length_b_rejected_at_submission(self, server):
+        matrix = grid_laplacian_2d(5, seed=25)
+        pattern = server.factor(matrix)["pattern"]
+        with pytest.raises(ValueError, match="rows"):
+            server.submit_solve(pattern, np.ones(matrix.n_rows + 1))
+        with pytest.raises(ValueError, match="rows"):
+            server.submit_solve(pattern,
+                                np.ones((matrix.n_rows - 1, 3)))
+        # Healthy traffic is unaffected afterwards.
+        x = server.solve(pattern, np.ones(matrix.n_rows))
+        assert x.shape == (matrix.n_rows,)
+
     def test_handle_protocol_errors_are_responses(self, server):
         response = server.handle({"op": "bogus", "id": 9})
         assert response == {"id": 9, "ok": False,
@@ -480,6 +559,38 @@ class TestServeCli:
         assert "coalescing speedup" in out
         assert metrics.exists()
         assert any(history.iterdir())
+
+    def test_serve_command_clears_stale_socket(self, tmp_path, capsys):
+        # A crashed run leaves its socket file behind; restarting must
+        # unlink it and bind rather than die with EADDRINUSE.
+        import time
+
+        from repro.cli import main
+
+        path = tmp_path / "serve.sock"
+        path.touch()                              # stale leftover
+        done = {}
+
+        def run():
+            done["code"] = main(["serve", "--socket", str(path)])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        client = None
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            try:
+                client = SocketClient(str(path))
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "server never came up"
+        try:
+            client.shutdown()
+        finally:
+            client.close()
+        thread.join(timeout=10.0)
+        assert done.get("code") == 0
 
     def test_solve_repeat_exports_serve_gauges(self, capsys):
         from repro.cli import main
