@@ -28,7 +28,12 @@ Commands:
   see docs/SERVING.md);
 * ``serve-bench`` — load generator against an in-process solve server:
   closed-/open-loop traffic over fuzz-suite families, coalesced vs
-  uncoalesced phases, bit-identity verification, ``serve.*`` gauges.
+  uncoalesced phases, bit-identity verification, ``serve.*`` gauges;
+* ``autotune`` — sweep ordering x block size x worker count for one
+  matrix, record the trials into the history store keyed by the
+  matrix-family fingerprint, and print the winning config — served
+  later by ``solve --ordering auto`` and ``SparseSolver(ordering=
+  "auto")`` (see docs/ORDERING.md).
 
 ``solve``, ``simulate``, ``verify``, and ``history`` share the runtime
 observability flags: ``--telemetry-dir DIR`` records run-scoped
@@ -40,8 +45,9 @@ top-function table + flamegraph).  See docs/OBSERVABILITY.md.
 Global flags (before the command): ``-v``/``-vv`` or ``--log-level`` turn
 on stdlib logging from the whole stack.
 
-Matrices are named either ``suite:NAME[@SCALE]`` (e.g. ``suite:Serena``,
-``suite:FullChip@0.5``) or a MatrixMarket file path.
+Matrices are named ``suite:NAME[@SCALE]`` (e.g. ``suite:Serena``,
+``suite:FullChip@0.5``), ``fuzz:FAMILY[@SEED]`` (a deterministic
+fuzz-suite case, e.g. ``fuzz:spd_mesh@3``), or a MatrixMarket file path.
 """
 
 from __future__ import annotations
@@ -86,6 +92,8 @@ from repro.obs import (
     write_timeline_report,
 )
 from repro.obs.profile import PROFILE_MODES
+from repro.ordering.autotune import BUDGETS
+from repro.ordering.registry import available_orderings
 from repro.serve.metrics import (
     REQUEST_PHASE,
     LatencyRecorder,
@@ -102,6 +110,16 @@ logger = logging.getLogger(__name__)
 
 def load_matrix(spec: str) -> tuple[CSCMatrix, str, str]:
     """Resolve a matrix argument to (matrix, default_kind, ordering)."""
+    if spec.startswith("fuzz:"):
+        from repro.verify.generators import build_case
+
+        name = spec[len("fuzz:"):]
+        seed = 0
+        if "@" in name:
+            name, seed_str = name.split("@", 1)
+            seed = int(seed_str)
+        case = build_case(name, seed, max_n=96)
+        return case.matrix, case.kind, "amd"
     if spec.startswith("suite:"):
         name = spec[len("suite:"):]
         scale = 1.0
@@ -268,11 +286,12 @@ def _solve_load_worker(payload: tuple) -> dict:
     ``numeric.solve`` tracer spans stream into this process's own JSONL
     sink and each request is wrapped in a ``solve.request`` task span.
     """
-    spec, kind, workers, block_size, scheduler, rhs_pad, requests, seed = \
-        payload
+    (spec, kind, ordering_override, tune_store, workers, block_size,
+     scheduler, rhs_pad, requests, seed) = payload
     matrix, default_kind, ordering = load_matrix(spec)
     solver = SparseSolver(matrix, kind=kind or default_kind,
-                          ordering=ordering, workers=workers,
+                          ordering=ordering_override or ordering,
+                          tune_store=tune_store, workers=workers,
                           block_size=block_size, scheduler=scheduler,
                           rhs_pad=rhs_pad)
     rng = np.random.default_rng(seed)
@@ -304,8 +323,9 @@ def _run_solve_load(args, kind: str) -> None:
     timeline shows true per-process worker lanes."""
     requests = max(1, args.repeat)
     payloads = [
-        (args.matrix, kind, args.workers, args.block_size, args.scheduler,
-         args.rhs_pad, requests, args.seed + i)
+        (args.matrix, kind, args.ordering, args.tune_store, args.workers,
+         args.block_size, args.scheduler, args.rhs_pad, requests,
+         args.seed + i)
         for i in range(args.procs)
     ]
     pool = multiprocessing.Pool(args.procs,
@@ -357,14 +377,19 @@ def cmd_solve(args) -> int:
         with span("pipeline.load_matrix"):
             matrix, kind, ordering = load_matrix(args.matrix)
         kind = args.kind or kind
+        ordering = args.ordering or ordering
         if args.procs > 1:
             _run_solve_load(args, kind)
         else:
             solver = SparseSolver(matrix, kind=kind, ordering=ordering,
+                                  tune_store=args.tune_store,
                                   workers=args.workers,
                                   block_size=args.block_size,
                                   scheduler=args.scheduler,
                                   rhs_pad=args.rhs_pad)
+            if ordering == "auto":
+                print(f"ordering auto -> {solver.ordering}")
+            ordering = solver.ordering
             rng = np.random.default_rng(args.seed)
             if args.refine:
                 shape = (matrix.n_rows, args.rhs) if args.rhs > 1 \
@@ -423,6 +448,17 @@ def cmd_solve(args) -> int:
             attribution: dict = {}
             if numeric_att:
                 attribution["numeric"] = numeric_att
+            eff_workers = args.workers or tuning.workers
+            eff_block = args.block_size or tuning.block_size
+            if args.procs == 1:
+                # Record the knobs the solver actually ran with (an
+                # auto-resolved ordering may have tuned them) and the
+                # ordering's structural quality score.
+                eff_workers = solver.workers or tuning.workers
+                eff_block = solver.block_size or tuning.block_size
+                if solver.symbolic.quality is not None:
+                    attribution["ordering_quality"] = \
+                        solver.symbolic.quality.to_dict()
             if session.timeline is not None:
                 # Worker processes publish their attribution through the
                 # telemetry sink (never the parent's module global); the
@@ -433,8 +469,9 @@ def cmd_solve(args) -> int:
             artifact = RunArtifact(
                 matrix=args.matrix, kind=kind, n=matrix.n_rows,
                 config={
-                    "workers": args.workers or tuning.workers,
-                    "block_size": args.block_size or tuning.block_size,
+                    "ordering": ordering,
+                    "workers": eff_workers,
+                    "block_size": eff_block,
                     "scheduler": args.scheduler or tuning.scheduler,
                     "rhs": args.rhs, "repeat": args.repeat,
                     "procs": args.procs,
@@ -733,6 +770,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         block_size=args.block_size,
         scheduler=args.scheduler,
+        tune_store=args.tune_store,
     )
     server = SolveServer(config)
     ready = threading.Event()
@@ -874,6 +912,57 @@ def cmd_serve_bench(args) -> int:
             disable_tracing()
 
 
+def cmd_autotune(args) -> int:
+    from repro.ordering.api import fill_reducing_ordering
+    from repro.ordering.autotune import autotune
+    from repro.ordering.quality import export_quality_gauges, score_ordering
+
+    matrix, kind, _ = load_matrix(args.matrix)
+    kind = args.kind or kind
+    store = HistoryStore(args.store)
+    result = autotune(matrix, store, kind=kind, budget=args.budget,
+                      matrix_name=args.matrix, force=args.force)
+    cfg = result.config
+    if result.from_cache:
+        print(f"family {result.fingerprint}: warm cache hit, "
+              f"sweep skipped (pass --force to re-measure)")
+    else:
+        print(f"family {result.fingerprint}: {len(result.trials)} trial(s) "
+              f"recorded to {store.trials_path}")
+        print(f"  {'ordering':<14}{'block':>6}{'workers':>8}"
+              f"{'fill':>10}{'factorize':>12}")
+        for t in sorted(result.trials, key=lambda t: t.factorize_s):
+            print(f"  {t.ordering:<14}{t.block_size:>6}{t.workers:>8}"
+                  f"{t.fill:>10}{t.factorize_s * 1e3:>10.2f}ms")
+    print(f"best config: ordering={cfg.ordering} "
+          f"block_size={cfg.block_size} workers={cfg.workers} "
+          f"(served by `solve {args.matrix} --ordering auto "
+          f"--tune-store {args.store}`)")
+    if args.metrics:
+        # Score the winning ordering so the artifact carries the
+        # ordering.quality.* gauges for this family.
+        perm = fill_reducing_ordering(matrix, cfg.ordering)
+        score = score_ordering(matrix, perm, method=cfg.ordering, kind=kind)
+        export_quality_gauges(score)
+        artifact = RunArtifact(
+            matrix=args.matrix, kind=kind, n=matrix.n_rows,
+            config={"budget": args.budget,
+                    "fingerprint": result.fingerprint},
+            report={"best": {"ordering": cfg.ordering,
+                             "block_size": cfg.block_size,
+                             "workers": cfg.workers},
+                    "from_cache": result.from_cache,
+                    "trials": len(result.trials),
+                    "quality": score.to_dict()},
+            metrics=global_registry().snapshot(),
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+        artifact.save(args.metrics)
+        print(f"wrote run artifact to {args.metrics} "
+              f"({len(artifact.metrics)} metrics)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -890,7 +979,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_matrix_arg(p):
         p.add_argument("matrix",
-                       help="suite:NAME[@SCALE] or a MatrixMarket path")
+                       help="suite:NAME[@SCALE], fuzz:FAMILY[@SEED], or "
+                            "a MatrixMarket path")
         p.add_argument("--kind", choices=["cholesky", "lu"], default=None)
 
     def add_obs_args(p):
@@ -914,6 +1004,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="factor and solve Ax=b")
     add_matrix_arg(p_solve)
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--ordering", default=None,
+                         choices=list(available_orderings()) + ["auto"],
+                         help="fill-reducing ordering (choices derive "
+                              "from the registry; 'auto' resolves the "
+                              "best known config for this matrix family "
+                              "from --tune-store, falling back to amd; "
+                              "default: the matrix's suite ordering)")
+    p_solve.add_argument("--tune-store", metavar="DIR", default=None,
+                         help="autotuner experience store consulted by "
+                              "--ordering auto (see `repro autotune`)")
     p_solve.add_argument("--refine", action="store_true",
                          help="use iterative refinement")
     p_solve.add_argument("--workers", type=int, default=None,
@@ -1090,6 +1190,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--scheduler",
                        choices=["level", "dag", "procs"], default=None,
                        help="numeric-phase scheduler (default: tuning)")
+    p_srv.add_argument("--tune-store", metavar="DIR", default=None,
+                       help="autotuner experience store: pattern "
+                            "registrations with ordering='auto' resolve "
+                            "their matrix family's best known config "
+                            "from it (see `repro autotune`)")
 
     p_sb = sub.add_parser(
         "serve-bench", help="load generator against an in-process solve "
@@ -1136,6 +1241,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "history store (trend gate input)")
     add_obs_args(p_sb)
 
+    p_tune = sub.add_parser(
+        "autotune", help="sweep ordering x block size x workers for one "
+                         "matrix, record trials into the history store "
+                         "keyed by its family fingerprint, and print the "
+                         "best config (served by `solve --ordering auto`)"
+    )
+    add_matrix_arg(p_tune)
+    p_tune.add_argument("--budget", choices=sorted(BUDGETS),
+                        default="small",
+                        help="sweep-grid size (default: small)")
+    p_tune.add_argument("--store", default=".repro-history", metavar="DIR",
+                        help="history store holding trials.jsonl "
+                             "(default: .repro-history)")
+    p_tune.add_argument("--force", action="store_true",
+                        help="re-sweep even when the family already has "
+                             "recorded trials")
+    p_tune.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write a run-artifact JSON (best config + "
+                             "ordering.quality.* gauges for the winning "
+                             "ordering)")
+
     p_tel = sub.add_parser(
         "telemetry", help="merge per-process telemetry streams of a "
                           "--telemetry-dir run into one timeline"
@@ -1168,6 +1294,7 @@ _COMMANDS = {
     "telemetry": cmd_telemetry,
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
+    "autotune": cmd_autotune,
 }
 
 

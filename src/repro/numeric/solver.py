@@ -54,8 +54,18 @@ class SparseSolver:
             for kind="lu" it may be any (structurally nonsingular) square
             matrix — static row pivoting is applied automatically.
         kind: "cholesky" or "lu".
-        ordering: fill-reducing ordering method ("amd", "nd", "rcm",
-            "natural").
+        ordering: fill-reducing ordering method — any name registered in
+            :mod:`repro.ordering.registry` ("amd", "nd", "rcm", "natural",
+            "local_refine", plugins), or "auto" to resolve the best known
+            config for this matrix's family from the autotuner experience
+            store (``tune_store``; falls back to "amd" with no store or
+            no recorded experience).  "auto" is resolved to a concrete
+            method *before* the analysis-cache key is formed, so cached
+            analyses are shared with explicitly-ordered solvers.
+        tune_store: autotuner experience database for ``ordering="auto"``
+            — a :class:`~repro.obs.history.HistoryStore` or its directory
+            path (see :mod:`repro.ordering.autotune`).  Ignored for
+            concrete orderings.
         workers: worker count for the parallel numeric phase (``None``
             defers to the global :mod:`repro.numeric.tuning`).  The
             factor is bit-identical for every worker count.
@@ -93,12 +103,29 @@ class SparseSolver:
         scheduler: str | None = None,
         rhs_pad: int = 1,
         use_cache: bool = True,
+        tune_store=None,
     ) -> None:
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("solver requires a square matrix")
         if rhs_pad < 1:
             raise ValueError("rhs_pad must be >= 1")
+        if ordering == "auto":
+            # Resolve against the autotuner experience store before the
+            # cache key is formed: the analysis cache must only ever see
+            # concrete method names.  Tuned block_size/workers fill in
+            # only where the caller left the knob at its default.
+            from repro.ordering.autotune import resolve_auto
+
+            tuned = resolve_auto(matrix, kind=kind, store=tune_store)
+            ordering = tuned.ordering
+            if block_size is None and tuned.block_size is not None:
+                block_size = tuned.block_size
+            if workers is None and tuned.workers is not None:
+                workers = tuned.workers
+            logger.info("ordering=auto resolved to %s (%s)",
+                        ordering, tuned.source)
         self.kind = kind
+        self.ordering = ordering  # concrete method ("auto" already resolved)
         self.workers = workers
         self.block_size = block_size
         self.scheduler = scheduler
@@ -131,6 +158,12 @@ class SparseSolver:
                 work, kind=kind, ordering=ordering,
                 relax_small=relax_small, relax_ratio=relax_ratio,
             )
+        if self.symbolic.quality is not None:
+            # A cache hit skips symbolic_factorize, so re-export the
+            # ordering-quality gauges to reflect *this* solver's analysis.
+            from repro.ordering.quality import export_quality_gauges
+
+            export_quality_gauges(self.symbolic.quality)
         self._matrix = work
         self._chol: CholeskyFactor | None = None
         self._lu: LUFactors | None = None

@@ -82,6 +82,14 @@ WATCHED_METRICS: dict[str, str] = {
     "serve.throughput.rps": "higher",
     "serve.coalesce.batch_mean": "higher",
     "serve.speedup.coalesce": "higher",
+    # ordering quality harness (repro.ordering.quality): structural
+    # quality of the ordering a solve actually used — predicted fill,
+    # symbolic FLOPs, etree critical-path length, and how uniformly
+    # parallel the etree level sets are.
+    "ordering.quality.fill": "lower",
+    "ordering.quality.flops": "lower",
+    "ordering.quality.etree_height": "lower",
+    "ordering.quality.occupancy": "higher",
 }
 
 

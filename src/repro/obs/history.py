@@ -28,13 +28,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs.artifact import WATCHED_METRICS, RunArtifact
 
+logger = logging.getLogger(__name__)
+
 INDEX_NAME = "index.jsonl"
+
+#: Autotuner experience database: one JSON line per measured trial (see
+#: :mod:`repro.ordering.autotune`), keyed by matrix-family fingerprint.
+TRIALS_NAME = "trials.jsonl"
 
 #: Default rolling-window length for trend statistics.
 DEFAULT_WINDOW = 8
@@ -122,6 +129,55 @@ class HistoryStore:
         with open(self.index_path, "a") as f:
             f.write(json.dumps(entry.to_dict()) + "\n")
         return entry
+
+    # -- autotuner trials -----------------------------------------------------
+
+    @property
+    def trials_path(self) -> Path:
+        return self.root / TRIALS_NAME
+
+    def add_trial(self, record: dict) -> None:
+        """Append one autotuner trial record (a JSON-serializable dict
+        carrying at least a ``fingerprint`` key) to ``trials.jsonl``."""
+        if "fingerprint" not in record:
+            raise ValueError("trial record must carry a 'fingerprint'")
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.trials_path, "a") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def trials(self, fingerprint: str | None = None) -> list[dict]:
+        """Recorded trial records, in recording order, optionally
+        filtered to one matrix-family fingerprint.
+
+        Corrupted lines (truncated writes, merge damage) are skipped
+        with a warning rather than poisoning the whole store — the
+        autotuner must keep working on a partially damaged experience
+        database.
+        """
+        if not self.trials_path.exists():
+            return []
+        out: list[dict] = []
+        with open(self.trials_path) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    logger.warning(
+                        "skipping corrupted trial line %s:%d (%s)",
+                        self.trials_path, lineno, exc)
+                    continue
+                if not isinstance(record, dict) or "fingerprint" not in record:
+                    logger.warning(
+                        "skipping malformed trial line %s:%d "
+                        "(not a fingerprinted record)",
+                        self.trials_path, lineno)
+                    continue
+                if fingerprint is None or record["fingerprint"] == fingerprint:
+                    out.append(record)
+        return out
 
     # -- querying -----------------------------------------------------------
 

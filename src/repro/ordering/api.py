@@ -5,32 +5,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs import span
-from repro.ordering.dissection import nested_dissection
-from repro.ordering.mindeg import minimum_degree
-from repro.ordering.rcm import rcm
+from repro.ordering.registry import get_ordering
 from repro.sparse.csc import CSCMatrix
-
-_METHODS = ("amd", "nd", "rcm", "natural")
 
 
 def fill_reducing_ordering(
-    matrix: CSCMatrix, method: str = "amd"
+    matrix: CSCMatrix, method: str = "amd", **params: object
 ) -> np.ndarray:
     """Compute a fill-reducing permutation (new index -> old index).
 
+    Dispatches through :mod:`repro.ordering.registry`, so any registered
+    method — built-in ("amd", "nd", "rcm", "natural", "local_refine") or
+    plugin — is accepted, and the error message for an unknown name is
+    always the current registry contents.
+
     Args:
         matrix: square sparse matrix (symmetrized pattern is used).
-        method: "amd" (quotient-graph minimum degree), "nd" (nested
-            dissection), "rcm" (reverse Cuthill-McKee), or "natural"
-            (identity — useful for matrices pre-ordered by the generator).
+        method: registered ordering name.
+        **params: method-specific keywords (e.g. ``seed=``/``budget=``
+            for search-based orderings) forwarded to the implementation.
     """
-    if method not in _METHODS:
-        raise ValueError(f"unknown ordering {method!r}; choose from {_METHODS}")
+    entry = get_ordering(method)
     with span(f"ordering.{method}"):
-        if method == "amd":
-            return minimum_degree(matrix)
-        if method == "nd":
-            return nested_dissection(matrix)
-        if method == "rcm":
-            return rcm(matrix)
-        return np.arange(matrix.n_rows, dtype=np.int64)
+        perm = entry.fn(matrix, **params)
+    return np.asarray(perm, dtype=np.int64)

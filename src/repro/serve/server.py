@@ -78,6 +78,12 @@ class ServeConfig:
     workers: int | None = None
     block_size: int | None = None
     scheduler: str | None = None
+    #: Autotuner experience store (a directory path).  When set, pattern
+    #: registrations with ``ordering="auto"`` resolve the best known
+    #: ordering/block-size/workers for the matrix family from it (see
+    #: :mod:`repro.ordering.autotune`); without it "auto" falls back to
+    #: AMD.
+    tune_store: str | None = None
 
     def effective_rhs_pad(self) -> int:
         if self.rhs_pad is not None:
@@ -265,6 +271,7 @@ class PatternWorker(threading.Thread):
                 block_size=self.config.block_size,
                 scheduler=self.config.scheduler,
                 rhs_pad=self.config.effective_rhs_pad(),
+                tune_store=self.config.tune_store,
             )
         self.server.latency.observe(
             REQUEST_PHASE, time.perf_counter() - ticket.t_submit)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.symbolic.structure import (
     lu_flops_from_counts,
 )
 from repro.symbolic.supernodes import find_supernodes
+
+if TYPE_CHECKING:
+    from repro.ordering.quality import OrderingScore
 
 logger = logging.getLogger(__name__)
 
@@ -41,6 +45,9 @@ class SymbolicFactorization:
         tree: supernodal assembly tree with extend-add maps.
         factor_nnz: nonzeros of L (and of U for LU, per triangle).
         flops: factorization FLOPs (LU counts both triangles).
+        quality: structural :class:`~repro.ordering.quality.OrderingScore`
+            of the ordering actually used (fill, etree height, level
+            occupancy), exported as ``ordering.quality.*`` gauges.
     """
 
     kind: str
@@ -51,6 +58,7 @@ class SymbolicFactorization:
     factor_nnz: int
     flops: int
     ordering: str = "amd"
+    quality: "OrderingScore | None" = None
 
     @property
     def n(self) -> int:
@@ -141,6 +149,16 @@ def symbolic_factorize(
         flops = cholesky_flops_from_counts(counts)
     else:
         flops = lu_flops_from_counts(counts)
+
+    # Score the ordering from the etree + counts the analysis already
+    # computed (nearly free) and export ordering.quality.* gauges, so
+    # every solve artifact carries a comparable OrderingScore.
+    from repro.ordering.quality import export_quality_gauges, score_from_counts
+
+    quality = score_from_counts(
+        ordering, matrix.n_rows, matrix.nnz, parent, counts, kind=kind)
+    export_quality_gauges(quality)
+
     logger.info(
         "symbolic [%s, %s]: n=%d, %d supernodes, nnz(L)=%d, %.3g GFLOP",
         kind, ordering, matrix.n_rows, tree.n_supernodes,
@@ -155,4 +173,5 @@ def symbolic_factorize(
         factor_nnz=int(counts.sum()),
         flops=flops,
         ordering=ordering,
+        quality=quality,
     )

@@ -206,6 +206,30 @@ def permuted_scaled_variant(rng: np.random.Generator,
     ))
 
 
+def mesh_spd(rng: np.random.Generator, n: int) -> CSCMatrix:
+    """Randomly permuted 2-D grid Laplacian (+I): the mesh regime.
+
+    Structured 5-point stencils are where fill-reducing orderings earn
+    their keep — the natural order is near-optimal, so the generator
+    scrambles the vertex numbering to make the ordering problem real.
+    The +I shift keeps the matrix comfortably SPD.
+    """
+    nx = max(2, int(np.sqrt(n)))
+    ny = max(2, n // nx)
+    total = nx * ny
+    dense = np.zeros((total, total))
+    for x in range(nx):
+        for y in range(ny):
+            v = x * ny + y
+            if x + 1 < nx:
+                dense[v, v + ny] = dense[v + ny, v] = -1.0
+            if y + 1 < ny:
+                dense[v, v + 1] = dense[v + 1, v] = -1.0
+    np.fill_diagonal(dense, -dense.sum(axis=1) + 1.0)
+    perm = rng.permutation(total)
+    return CSCMatrix.from_dense(dense[np.ix_(perm, perm)])
+
+
 def wild_value_spd(rng: np.random.Generator, n: int) -> CSCMatrix:
     """Tridiagonal SPD with entry magnitudes spanning ~12 decades."""
     scale = 10.0 ** rng.uniform(-6.0, 6.0, n)
@@ -271,6 +295,10 @@ _FAMILIES: list[tuple[str, str]] = [
     ("struct_singular_chol", "cholesky"),
     ("lu_unsym_dd", "lu"),
     ("struct_singular_lu", "lu"),
+    # Appended after the originals: build_case derives its RNG stream
+    # from the family *index*, so adding at the end keeps every existing
+    # (family, seed) case byte-identical.
+    ("spd_mesh", "cholesky"),
 ]
 
 
@@ -307,6 +335,9 @@ def build_case(family: str, seed: int, max_n: int = 48) -> FuzzCase:
     elif family == "spd_wild_values":
         matrix = wild_value_spd(rng, n)
         hard = True
+    elif family == "spd_mesh":
+        matrix = mesh_spd(rng, n)
+        n = matrix.n_rows
     elif family == "spd_permuted_scaled":
         matrix = permuted_scaled_variant(rng, _suite_base(rng))
         n = matrix.n_rows
