@@ -29,6 +29,12 @@ Commands:
 * ``serve-bench`` — load generator against an in-process solve server:
   closed-/open-loop traffic over fuzz-suite families, coalesced vs
   uncoalesced phases, bit-identity verification, ``serve.*`` gauges;
+* ``serve-stats`` — one-shot poll of a running server's ``health`` +
+  ``stats`` ops (pretty table, raw JSON, or Prometheus text for
+  external scrapers);
+* ``serve-top`` — live terminal dashboard over the same wire surface:
+  per-worker lanes, rolling-window latency with a sparkline trend,
+  slow-request exemplars (docs/SERVING.md "Operating the server");
 * ``autotune`` — sweep ordering x block size x worker count for one
   matrix, record the trials into the history store keyed by the
   matrix-family fingerprint, and print the winning config — served
@@ -814,6 +820,70 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_serve_stats(args) -> int:
+    from repro.serve.client import SocketClient
+    from repro.serve.metrics import REQUEST_PHASE as REQ
+
+    try:
+        client = SocketClient(args.socket, timeout=args.timeout)
+    except OSError as exc:
+        print(f"error: cannot reach server on {args.socket}: {exc}",
+              file=sys.stderr)
+        return 1
+    with client:
+        if args.format == "text":
+            print(client.stats(window_s=args.window_s, format="text"),
+                  end="")
+            return 0
+        health = client.health()
+        stats = client.stats(window_s=args.window_s)
+        if args.format == "json":
+            print(json.dumps({"health": health, "stats": stats},
+                             indent=2, default=str))
+            return 0
+        status = "ok" if health["ok"] else "DEGRADED"
+        print(f"server on {args.socket}: {status}, "
+              f"up {health['uptime_s']:.1f}s, "
+              f"heartbeat #{health['heartbeats']} "
+              f"({health['heartbeat_age_s']:.1f}s ago)")
+        window = stats["window"]
+        request = window["latency_ms"].get(REQ, {})
+        print(f"window {stats['window_s']:g}s: "
+              f"{window['throughput_rps']:.1f} req/s, "
+              f"p50 {request.get('p50_ms', 0.0):.3f}ms, "
+              f"p95 {request.get('p95_ms', 0.0):.3f}ms, "
+              f"p99 {request.get('p99_ms', 0.0):.3f}ms; "
+              f"inflight {window['inflight']}, "
+              f"queued {window['queue_depth']}")
+        print(f"lifetime: {stats['responses']} response(s), "
+              f"{stats['errors']} error(s), "
+              f"{stats['coalesce']['batches']} batch(es), "
+              f"mean width {stats['coalesce']['batch_mean']:.2f}")
+        for pattern, w in sorted(stats["workers"].items()):
+            state = "dead" if not w["alive"] else \
+                ("busy" if w["busy"] else "idle")
+            print(f"  {pattern[:24]:<26}{state:<6}"
+                  f"queue {w['queue_depth']:<4}"
+                  f"served {w['served']:<7}"
+                  f"batches {w['batches']}")
+        for ex in stats["exemplars"][:args.exemplars]:
+            phases = ex.get("phases_ms", {})
+            print(f"  slow {ex['request_id']:<8}{ex['op']:<12}"
+                  f"{ex['latency_ms']:9.3f}ms  "
+                  f"(queue {phases.get('queue_wait', 0.0):.3f} / "
+                  f"coalesce {phases.get('coalesce_wait', 0.0):.3f} / "
+                  f"solve {phases.get('solve', 0.0):.3f})")
+    return 0
+
+
+def cmd_serve_top(args) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(args.socket, interval_s=args.interval,
+                   iterations=args.iterations, window_s=args.window_s,
+                   clear=not args.no_clear)
+
+
 def cmd_serve_bench(args) -> int:
     from repro.serve.bench import BenchConfig, run_bench
 
@@ -1196,6 +1266,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "their matrix family's best known config "
                             "from it (see `repro autotune`)")
 
+    def add_poll_args(p):
+        p.add_argument("--socket", default="repro-serve.sock",
+                       metavar="PATH",
+                       help="unix socket of the running server "
+                            "(default: repro-serve.sock)")
+        p.add_argument("--window-s", type=float, default=None,
+                       metavar="S",
+                       help="rolling-window width for the live view "
+                            "(default: the server's configured window)")
+
+    p_ss = sub.add_parser(
+        "serve-stats", help="one-shot health + stats poll of a running "
+                            "solve server (pretty, JSON, or Prometheus "
+                            "text)"
+    )
+    add_poll_args(p_ss)
+    p_ss.add_argument("--format", choices=["pretty", "json", "text"],
+                      default="pretty",
+                      help="output format; 'text' is Prometheus "
+                           "exposition format for scrapers "
+                           "(default: pretty)")
+    p_ss.add_argument("--timeout", type=float, default=10.0,
+                      help="socket timeout in seconds (default 10)")
+    p_ss.add_argument("--exemplars", type=int, default=3,
+                      help="slow-request exemplars to print in pretty "
+                           "mode (default 3)")
+
+    p_st = sub.add_parser(
+        "serve-top", help="live terminal dashboard for a running solve "
+                          "server: per-worker lanes, windowed latency "
+                          "with sparkline trend, slow-request exemplars"
+    )
+    add_poll_args(p_st)
+    p_st.add_argument("--interval", type=float, default=1.0,
+                      help="poll period in seconds (default 1)")
+    p_st.add_argument("--iterations", type=int, default=0,
+                      help="frames to render before exiting; 0 runs "
+                           "until Ctrl-C (default 0)")
+    p_st.add_argument("--no-clear", action="store_true",
+                      help="append frames instead of clearing the "
+                           "screen (logs, tests, dumb terminals)")
+
     p_sb = sub.add_parser(
         "serve-bench", help="load generator against an in-process solve "
                             "server: coalesced vs uncoalesced phases, "
@@ -1294,6 +1406,8 @@ _COMMANDS = {
     "telemetry": cmd_telemetry,
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
+    "serve-stats": cmd_serve_stats,
+    "serve-top": cmd_serve_top,
     "autotune": cmd_autotune,
 }
 

@@ -30,7 +30,12 @@ Dependency-free observability primitives used across the whole stack:
   a sampling signal profiler) with top-function tables and
   self-contained SVG flamegraphs (``--profile``);
 * :mod:`repro.obs.log` — stdlib-logging setup behind the CLI's
-  ``-v`` / ``--log-level`` flags.
+  ``-v`` / ``--log-level`` flags;
+* :mod:`repro.obs.live` — *live* (windowed, memory-bounded) primitives
+  for long-lived processes: rolling-window percentile rings, top-K
+  slow-event exemplars, sparklines, and Prometheus text rendering —
+  the building blocks of the serve layer's ``stats``/``health`` ops
+  and ``repro serve-top``.
 
 See ``docs/OBSERVABILITY.md`` for the full guide.
 """
@@ -66,6 +71,13 @@ from repro.obs.html import (
     render_timeline_html,
     write_html_report,
     write_timeline_report,
+)
+from repro.obs.live import (
+    ExemplarRing,
+    RollingWindow,
+    flatten_stats,
+    prometheus_text,
+    sparkline,
 )
 from repro.obs.log import setup_logging, verbosity_to_level
 from repro.obs.profile import Profiler, ProfileResult, flamegraph_svg
@@ -144,4 +156,9 @@ __all__ = [
     "flamegraph_svg",
     "setup_logging",
     "verbosity_to_level",
+    "RollingWindow",
+    "ExemplarRing",
+    "sparkline",
+    "flatten_stats",
+    "prometheus_text",
 ]

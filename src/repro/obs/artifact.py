@@ -82,6 +82,14 @@ WATCHED_METRICS: dict[str, str] = {
     "serve.throughput.rps": "higher",
     "serve.coalesce.batch_mean": "higher",
     "serve.speedup.coalesce": "higher",
+    # live rolling-window SLO view of the serving layer (repro.obs.live
+    # + repro.serve.metrics.LatencyRecorder.window_summary): the same
+    # request phase restricted to the trailing window, so the gate
+    # compares live-window behaviour — what an operator would see on a
+    # running server — across builds, not just lifetime cumulatives.
+    "serve.window.latency.request.p50_ms": "lower",
+    "serve.window.latency.request.p99_ms": "lower",
+    "serve.window.throughput.rps": "higher",
     # ordering quality harness (repro.ordering.quality): structural
     # quality of the ordering a solve actually used — predicted fill,
     # symbolic FLOPs, etree critical-path length, and how uniformly

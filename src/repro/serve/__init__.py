@@ -9,7 +9,11 @@ sharded analysis cache.  See docs/SERVING.md.
 """
 
 from repro.serve.client import InProcessClient, SocketClient
-from repro.serve.metrics import LatencyRecorder, export_serve_gauges
+from repro.serve.metrics import (
+    LatencyRecorder,
+    export_serve_gauges,
+    stats_to_prometheus,
+)
 from repro.serve.server import (
     PatternWorker,
     ServeConfig,
@@ -17,6 +21,7 @@ from repro.serve.server import (
     run_unix_server,
     serve_unix,
 )
+from repro.serve.top import render_dashboard, run_top
 
 __all__ = [
     "InProcessClient",
@@ -26,6 +31,9 @@ __all__ = [
     "SocketClient",
     "SolveServer",
     "export_serve_gauges",
+    "render_dashboard",
+    "run_top",
     "run_unix_server",
     "serve_unix",
+    "stats_to_prometheus",
 ]

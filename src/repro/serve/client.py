@@ -6,9 +6,12 @@ tests and the ``serve-bench`` load generator use, where wire encoding
 would only add noise to the measurement.  :class:`SocketClient` speaks
 the NDJSON protocol over the unix socket like an external tenant would.
 
-Both expose the same four calls: ``factor`` (returns the pattern
-handle), ``solve`` (vector or panel in, array out), ``refactorize``, and
-``stats``.
+Both expose the same calls: ``factor`` (returns the pattern handle),
+``solve`` (vector or panel in, array out), ``refactorize``, ``stats``
+(optionally windowed, optionally Prometheus text), and ``health`` (the
+cheap liveness probe).  ``repro serve-stats`` and ``repro serve-top``
+are thin consumers of the last two (docs/SERVING.md "Operating the
+server").
 """
 
 from __future__ import annotations
@@ -39,8 +42,18 @@ class InProcessClient:
     def refactorize(self, pattern: str, data: np.ndarray) -> None:
         self.server.refactorize(pattern, data)
 
-    def stats(self) -> dict:
-        return self.server.stats()
+    def stats(self, window_s: float | None = None,
+              format: str | None = None) -> dict | str:
+        if format == "text":
+            from repro.serve.metrics import stats_to_prometheus
+
+            return stats_to_prometheus(
+                self.server.stats(window_s=window_s),
+                self.server.health())
+        return self.server.stats(window_s=window_s)
+
+    def health(self) -> dict:
+        return self.server.health()
 
     def shutdown(self) -> None:
         self.server.shutdown()
@@ -97,8 +110,20 @@ class SocketClient:
         self.request({"op": "refactorize", "pattern": pattern,
                       "data": np.asarray(data, dtype=np.float64).tolist()})
 
-    def stats(self) -> dict:
-        return self.request({"op": "stats"})["stats"]
+    def stats(self, window_s: float | None = None,
+              format: str | None = None) -> dict | str:
+        """Server stats; ``format="text"`` returns Prometheus text."""
+        message: dict = {"op": "stats"}
+        if window_s is not None:
+            message["window_s"] = window_s
+        if format is not None:
+            message["format"] = format
+        response = self.request(message)
+        return response["text"] if format == "text" \
+            else response["stats"]
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})["health"]
 
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})

@@ -42,11 +42,32 @@ Operations
         -> {"id": 3, "ok": true}
 
 ``stats``
-    Server counters, coalescing stats, latency percentiles, and
-    analysis-cache shard stats.
+    Full operational snapshot: cumulative counters, coalescing stats,
+    latency percentiles, the rolling-window SLO view, per-worker queue
+    depth/occupancy, slow-request exemplars, and analysis-cache shard
+    stats.  Read-only — polling never mutates server gauges.  Options::
+
+        {"op": "stats", "id": 4,
+         "window_s": 30,            # optional: rolling-window width
+         "format": "text"}          # optional: Prometheus text instead
+        -> {"id": 4, "ok": true, "stats": {...}}      # format json
+        -> {"id": 4, "ok": true, "text": "# TYPE ..."} # format text
+
+``health``
+    Cheap liveness probe: uptime, heartbeat count and age, per-worker
+    liveness and queue depth, in-flight request count, analysis-cache
+    occupancy::
+
+        {"op": "health", "id": 5}
+        -> {"id": 5, "ok": true, "health": {"ok": true, ...}}
 
 ``shutdown``
     Drain and stop the server.
+
+Every solve/factor/refactorize response also carries the
+server-assigned ``request_id`` of the request that produced it — the
+trace handle the slow-request exemplars and telemetry spans use
+(docs/SERVING.md "Operating the server").
 
 Errors come back as ``{"id": ..., "ok": false, "error": "..."}`` and
 never tear down the connection.
@@ -61,7 +82,10 @@ import numpy as np
 from repro.sparse.csc import CSCMatrix
 
 #: Recognised request operations.
-OPS = ("factor", "solve", "refactorize", "stats", "shutdown")
+OPS = ("factor", "solve", "refactorize", "stats", "health", "shutdown")
+
+#: Recognised ``stats`` rendering formats.
+STATS_FORMATS = ("json", "text")
 
 
 class ProtocolError(ValueError):
@@ -119,12 +143,27 @@ def validate_request(message: dict) -> str:
         raise ProtocolError("solve request needs 'b' (or 'bs') field")
     if op == "refactorize" and "data" not in message:
         raise ProtocolError("refactorize request needs a 'data' field")
+    if op == "stats":
+        fmt = message.get("format", "json")
+        if fmt not in STATS_FORMATS:
+            raise ProtocolError(
+                f"unknown stats format {fmt!r} "
+                f"(expected one of {STATS_FORMATS})")
+        window_s = message.get("window_s")
+        if window_s is not None and (
+                not isinstance(window_s, (int, float))
+                or window_s <= 0):
+            raise ProtocolError("window_s must be a positive number")
     return op
 
 
-def ok_response(request_id, **payload) -> dict:
-    return {"id": request_id, "ok": True, **payload}
+# The first parameter is named ``req_id`` (not ``request_id``) so a
+# payload carrying the server-assigned ``request_id`` trace handle
+# never collides with the wire message id.
+
+def ok_response(req_id, **payload) -> dict:
+    return {"id": req_id, "ok": True, **payload}
 
 
-def error_response(request_id, error: str) -> dict:
-    return {"id": request_id, "ok": False, "error": str(error)}
+def error_response(req_id, error: str) -> dict:
+    return {"id": req_id, "ok": False, "error": str(error)}

@@ -20,6 +20,19 @@ k separate solves.  Workers are built with
 batch-size-independent shapes and each response is **bit-identical** no
 matter which requests happened to share its panel (docs/SERVING.md).
 
+Live observability: every request gets a server-assigned **request id**
+at submission and carries it through coalescing — a blocked panel knows
+its rider ids, responses echo the id, and per-request phase spans
+(``queue_wait`` → ``coalesce_wait`` → ``solve``) flow into the
+telemetry sink when one is active.  The server keeps rolling-window
+latency/throughput views (:class:`repro.serve.metrics.LatencyRecorder`),
+a bounded top-K slow-request exemplar ring
+(:class:`repro.obs.live.ExemplarRing`), per-worker live queue
+depth/occupancy, and a heartbeat counter — all surfaced by the
+side-effect-free :meth:`SolveServer.stats` / :meth:`SolveServer.health`
+and, over the wire, by the ``stats`` / ``health`` ops
+(docs/SERVING.md "Operating the server").
+
 The asyncio front end (:func:`serve_unix` / :func:`run_unix_server`)
 speaks the NDJSON protocol of :mod:`repro.serve.protocol` over a unix
 socket, fanning request handling onto a thread pool so concurrent
@@ -30,6 +43,7 @@ In-process callers — tests, benchmarks — skip the wire entirely via
 
 from __future__ import annotations
 
+import itertools
 import logging
 import threading
 import time
@@ -42,12 +56,16 @@ import numpy as np
 from repro.numeric.cache import analysis_cache, pattern_digest
 from repro.numeric.solver import SparseSolver
 from repro.obs import telemetry
+from repro.obs.live import ExemplarRing
 from repro.obs.metrics import global_registry
+from repro.obs.spans import Span
 from repro.serve import protocol
 from repro.serve.metrics import (
+    DEFAULT_RING,
     REQUEST_PHASE,
     LatencyRecorder,
     export_serve_gauges,
+    stats_to_prometheus,
 )
 from repro.sparse.csc import CSCMatrix
 
@@ -84,6 +102,17 @@ class ServeConfig:
     #: :mod:`repro.ordering.autotune`); without it "auto" falls back to
     #: AMD.
     tune_store: str | None = None
+    #: Trailing window (seconds) of the live SLO view reported by
+    #: ``stats`` and exported as the ``serve.window.*`` gauges.
+    window_s: float = 60.0
+    #: Per-phase latency sample-ring capacity (bounded memory; see
+    #: repro.serve.metrics for the cumulative-vs-windowed contract).
+    latency_ring: int = DEFAULT_RING
+    #: Slow-request exemplars retained (top-K by end-to-end latency).
+    exemplars: int = 16
+    #: Liveness heartbeat period (seconds); the ``health`` op reports
+    #: the beat count and the age of the last beat.
+    heartbeat_s: float = 1.0
 
     def effective_rhs_pad(self) -> int:
         if self.rhs_pad is not None:
@@ -93,7 +122,15 @@ class ServeConfig:
 
 @dataclass
 class _Ticket:
-    """One queued request; ``future`` resolves to the op's payload."""
+    """One queued request; ``future`` resolves to the op's payload.
+
+    The three timestamps are the request's span skeleton: ``t_submit``
+    (enqueue), ``t_dequeue`` (its worker picked it out of the queue —
+    for batch riders, the moment they were drained into the batch), and
+    ``t_start`` (the factor/solve actually began, i.e. the coalesce
+    window closed).  :meth:`phases_ms` turns them into the breakdown
+    that exemplars, telemetry spans, and the latency recorder share.
+    """
 
     op: str                                   # "factor"|"solve"|"refactorize"
     b: np.ndarray | None = None               # solve: (n, k) panel
@@ -102,12 +139,31 @@ class _Ticket:
     kind: str | None = None                   # factor
     ordering: str = "amd"                     # factor
     data: np.ndarray | None = None            # refactorize
+    request_id: str = ""
     t_submit: float = field(default_factory=time.perf_counter)
+    t_dequeue: float | None = None
+    t_start: float | None = None
     future: Future = field(default_factory=Future)
+
+    def phases_ms(self, now: float) -> dict[str, float]:
+        dequeue = self.t_dequeue if self.t_dequeue is not None \
+            else self.t_submit
+        start = self.t_start if self.t_start is not None else dequeue
+        return {
+            "queue_wait": max(0.0, dequeue - self.t_submit) * 1e3,
+            "coalesce_wait": max(0.0, start - dequeue) * 1e3,
+            "solve": max(0.0, now - start) * 1e3,
+        }
 
 
 class PatternWorker(threading.Thread):
-    """One pattern's FIFO executor: a warm solver + a coalescing queue."""
+    """One pattern's FIFO executor: a warm solver + a coalescing queue.
+
+    Live counters (``served``/``batches``/``columns``/``last_batch_k``/
+    ``last_done``) are written only by the worker thread itself and read
+    lock-free by :meth:`snapshot`, so stats polling never contends with
+    the solve path.
+    """
 
     def __init__(self, pattern: str, server: "SolveServer") -> None:
         super().__init__(name=f"serve-{pattern[:12]}", daemon=True)
@@ -123,6 +179,14 @@ class PatternWorker(threading.Thread):
         self._queue: deque[_Ticket] = deque()
         self._cond = threading.Condition()
         self._stopping = False
+        # -- live stats (worker-thread writes, lock-free reads) -----------
+        self.busy = False
+        self.served = 0
+        self.batches = 0
+        self.columns = 0
+        self.last_batch_k = 0
+        self.created = time.perf_counter()
+        self.last_done = self.created
 
     # -- producer side ------------------------------------------------------
 
@@ -133,13 +197,35 @@ class PatternWorker(threading.Thread):
             self._queue.append(ticket)
             depth = len(self._queue)
             self._cond.notify()
-        self.server.note_queue_depth(depth)
+        self.server.note_submitted(ticket, depth)
         return ticket.future
 
     def stop(self) -> None:
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
+
+    # -- live stats ---------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def snapshot(self) -> dict:
+        """Point-in-time operational view of this worker."""
+        now = time.perf_counter()
+        return {
+            "alive": self.is_alive(),
+            "busy": self.busy,
+            "queue_depth": self.queue_depth(),
+            "served": self.served,
+            "batches": self.batches,
+            "columns": self.columns,
+            "last_batch_k": self.last_batch_k,
+            "n": self.n,
+            "idle_s": max(0.0, now - self.last_done),
+            "age_s": max(0.0, now - self.created),
+        }
 
     # -- consumer side ------------------------------------------------------
 
@@ -151,6 +237,8 @@ class PatternWorker(threading.Thread):
                 if not self._queue:
                     return                      # stopped and drained
                 ticket = self._queue.popleft()
+            ticket.t_dequeue = time.perf_counter()
+            self.busy = True
             try:
                 if ticket.op == "solve":
                     self._run_solve_batch(ticket)
@@ -166,6 +254,9 @@ class PatternWorker(threading.Thread):
                 global_registry().counter("serve.errors").inc()
                 if not ticket.future.done():
                     ticket.future.set_exception(exc)
+            finally:
+                self.busy = False
+                self.last_done = time.perf_counter()
 
     def _coalesce(self, first: _Ticket) -> list[_Ticket]:
         """Collect the solve batch starting at ``first``.
@@ -191,6 +282,7 @@ class PatternWorker(threading.Thread):
                         and columns + self._queue[0].b.shape[1]
                         <= max_batch):
                     ticket = self._queue.popleft()
+                    ticket.t_dequeue = time.perf_counter()
                     batch.append(ticket)
                     columns += ticket.b.shape[1]
                 if columns >= max_batch or self._stopping:
@@ -221,6 +313,10 @@ class PatternWorker(threading.Thread):
 
     def _run_solve_batch(self, first: _Ticket) -> None:
         batch = self._coalesce(first)
+        t_start = time.perf_counter()
+        for ticket in batch:
+            ticket.t_start = t_start
+        riders = [t.request_id for t in batch]
         try:
             if self.solver is None:
                 raise RuntimeError(
@@ -229,7 +325,8 @@ class PatternWorker(threading.Thread):
                      else np.concatenate([t.b for t in batch], axis=1))
             k = panel.shape[1]
             with telemetry.task_span("serve.batch", pattern=self.pattern,
-                                     k=k, requests=len(batch)):
+                                     k=k, requests=len(batch),
+                                     riders=riders):
                 x = self._solve_panel(panel)
         except Exception as exc:
             # A failed coalesced solve must fail *every* rider: a batch
@@ -244,20 +341,24 @@ class PatternWorker(threading.Thread):
         reg = global_registry()
         reg.counter("serve.coalesce.batches").inc()
         reg.counter("serve.coalesce.columns").inc(k)
+        self.batches += 1
+        self.columns += k
+        self.last_batch_k = k
         self.server.note_batch(k)
         offset = 0
-        now = time.perf_counter()
         for ticket in batch:
             width = ticket.b.shape[1]
             result = x[:, offset] if ticket.vector \
                 else x[:, offset:offset + width]
             offset += width
-            self.server.latency.observe(REQUEST_PHASE,
-                                        now - ticket.t_submit)
-            reg.counter("serve.responses").inc()
-            ticket.future.set_result({"x": result, "batch_k": k})
+            self.served += 1
+            self.server.note_response(ticket, self.pattern, batch_k=k,
+                                      width=width)
+            ticket.future.set_result({"x": result, "batch_k": k,
+                                      "request_id": ticket.request_id})
 
     def _run_factor(self, ticket: _Ticket) -> None:
+        ticket.t_start = time.perf_counter()
         warm = self.solver is not None
         if warm:
             # Same pattern, new values: ride the warm refactorize path.
@@ -273,17 +374,18 @@ class PatternWorker(threading.Thread):
                 rhs_pad=self.config.effective_rhs_pad(),
                 tune_store=self.config.tune_store,
             )
-        self.server.latency.observe(
-            REQUEST_PHASE, time.perf_counter() - ticket.t_submit)
-        global_registry().counter("serve.responses").inc()
+        self.served += 1
+        self.server.note_response(ticket, self.pattern)
         ticket.future.set_result({
             "pattern": self.pattern,
             "n": int(ticket.matrix.n_rows),
             "factor_nnz": int(self.solver.symbolic.factor_nnz),
             "warm": warm,
+            "request_id": ticket.request_id,
         })
 
     def _run_refactorize(self, ticket: _Ticket) -> None:
+        ticket.t_start = time.perf_counter()
         if self.solver is None:
             raise RuntimeError(
                 f"pattern {self.pattern!r} has no factorization yet")
@@ -292,10 +394,10 @@ class PatternWorker(threading.Thread):
             self.matrix.indptr, self.matrix.indices, ticket.data,
         )
         self.solver.refactorize(matrix)
-        self.server.latency.observe(
-            REQUEST_PHASE, time.perf_counter() - ticket.t_submit)
-        global_registry().counter("serve.responses").inc()
-        ticket.future.set_result({"pattern": self.pattern})
+        self.served += 1
+        self.server.note_response(ticket, self.pattern)
+        ticket.future.set_result({"pattern": self.pattern,
+                                  "request_id": ticket.request_id})
 
 
 class SolveServer:
@@ -308,7 +410,8 @@ class SolveServer:
 
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
-        self.latency = LatencyRecorder()
+        self.latency = LatencyRecorder(ring=self.config.latency_ring)
+        self.exemplars = ExemplarRing(self.config.exemplars)
         self._workers: dict[str, PatternWorker] = {}
         self._table_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -316,8 +419,32 @@ class SolveServer:
         self._batch_count = 0
         self._batch_max = 0
         self._queue_depth_max = 0
+        self._inflight = 0
+        self._heartbeats = 0
+        self._last_beat = time.perf_counter()
+        self._request_seq = itertools.count(1)
         self._shutdown = threading.Event()
         self._started = time.perf_counter()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="serve-heartbeat",
+            daemon=True)
+        self._heartbeat_thread.start()
+
+    # -- liveness -----------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Count beats while the server lives, so a poller can tell an
+        idle-but-healthy server from a hung one (``health`` reports the
+        beat count and the age of the last beat)."""
+        period = max(0.05, self.config.heartbeat_s)
+        while not self._shutdown.wait(period):
+            with self._stats_lock:
+                self._heartbeats += 1
+                self._last_beat = time.perf_counter()
+
+    def next_request_id(self) -> str:
+        """A fresh server-unique request id (``r<n>``)."""
+        return f"r{next(self._request_seq)}"
 
     # -- stats hooks (called by workers) ------------------------------------
 
@@ -327,9 +454,57 @@ class SolveServer:
             self._batch_count += 1
             self._batch_max = max(self._batch_max, k)
 
-    def note_queue_depth(self, depth: int) -> None:
+    def note_submitted(self, ticket: _Ticket, depth: int) -> None:
         with self._stats_lock:
             self._queue_depth_max = max(self._queue_depth_max, depth)
+            self._inflight += 1
+        # Every resolution path — success, solve failure, batch-peer
+        # failure, worker crash — settles the future, so the inflight
+        # level can never leak.
+        ticket.future.add_done_callback(self._note_settled)
+
+    def _note_settled(self, _future: Future) -> None:
+        with self._stats_lock:
+            self._inflight -= 1
+
+    def note_response(self, ticket: _Ticket, pattern: str,
+                      batch_k: int = 1, width: int = 1) -> None:
+        """Record one completed request: phase latencies, the slow-
+        request exemplar ring, and (when telemetry is on) per-request
+        span events carrying the request id."""
+        now = time.perf_counter()
+        total_s = now - ticket.t_submit
+        phases = ticket.phases_ms(now)
+        self.latency.observe(REQUEST_PHASE, total_s)
+        self.latency.observe("queue_wait", phases["queue_wait"] / 1e3)
+        self.latency.observe("coalesce_wait",
+                             phases["coalesce_wait"] / 1e3)
+        self.latency.observe("solve", phases["solve"] / 1e3)
+        global_registry().counter("serve.responses").inc()
+        self.exemplars.offer(total_s * 1e3, {
+            "request_id": ticket.request_id,
+            "op": ticket.op,
+            "pattern": pattern,
+            "batch_k": batch_k,
+            "k": width,
+            "latency_ms": total_s * 1e3,
+            "phases_ms": phases,
+            "wall": time.time(),
+        })
+        sink = telemetry.current_sink()
+        if sink is not None:
+            attrs = {"request_id": ticket.request_id, "op": ticket.op,
+                     "pattern": pattern, "batch_k": batch_k}
+            sink.span(Span(name="serve.request",
+                           start_s=ticket.t_submit,
+                           duration_s=total_s), attrs=attrs)
+            cursor = ticket.t_submit
+            for phase in ("queue_wait", "coalesce_wait", "solve"):
+                dur = phases[phase] / 1e3
+                sink.span(Span(name=f"serve.request.{phase}",
+                               start_s=cursor, duration_s=dur,
+                               depth=1), attrs=attrs)
+                cursor += dur
 
     # -- pattern table ------------------------------------------------------
 
@@ -349,7 +524,8 @@ class SolveServer:
     # -- in-process API (numpy in, numpy out) -------------------------------
 
     def submit_factor(self, matrix: CSCMatrix, kind: str | None = None,
-                      ordering: str = "amd") -> Future:
+                      ordering: str = "amd",
+                      request_id: str | None = None) -> Future:
         if self._shutdown.is_set():
             raise RuntimeError("server is shutting down")
         if matrix.n_rows != matrix.n_cols:
@@ -370,10 +546,12 @@ class SolveServer:
                 self._workers[pattern] = worker
                 worker.start()
         global_registry().counter("serve.requests.factor").inc()
-        return worker.submit(_Ticket(op="factor", matrix=matrix,
-                                     kind=kind, ordering=ordering))
+        return worker.submit(_Ticket(
+            op="factor", matrix=matrix, kind=kind, ordering=ordering,
+            request_id=request_id or self.next_request_id()))
 
-    def submit_solve(self, pattern: str, b: np.ndarray) -> Future:
+    def submit_solve(self, pattern: str, b: np.ndarray,
+                     request_id: str | None = None) -> Future:
         worker = self._worker(pattern)
         b = np.asarray(b, dtype=np.float64)
         vector = b.ndim == 1
@@ -389,14 +567,17 @@ class SolveServer:
                 f"b has {b.shape[0]} rows but pattern {pattern!r} is "
                 f"{worker.n}x{worker.n}")
         global_registry().counter("serve.requests.solve").inc()
-        return worker.submit(_Ticket(op="solve", b=b, vector=vector))
+        return worker.submit(_Ticket(
+            op="solve", b=b, vector=vector,
+            request_id=request_id or self.next_request_id()))
 
-    def submit_refactorize(self, pattern: str,
-                           data: np.ndarray) -> Future:
+    def submit_refactorize(self, pattern: str, data: np.ndarray,
+                           request_id: str | None = None) -> Future:
         data = np.asarray(data, dtype=np.float64)
         global_registry().counter("serve.requests.refactorize").inc()
-        return self._worker(pattern).submit(
-            _Ticket(op="refactorize", data=data))
+        return self._worker(pattern).submit(_Ticket(
+            op="refactorize", data=data,
+            request_id=request_id or self.next_request_id()))
 
     def factor(self, matrix: CSCMatrix, kind: str | None = None,
                ordering: str = "amd") -> dict:
@@ -410,34 +591,117 @@ class SolveServer:
 
     # -- stats / lifecycle --------------------------------------------------
 
-    def stats(self, export: bool = True) -> dict:
+    def queue_depth(self) -> int:
+        """Current total pending requests across pattern queues."""
+        with self._table_lock:
+            workers = list(self._workers.values())
+        return sum(w.queue_depth() for w in workers)
+
+    def uptime_s(self) -> float:
+        return max(time.perf_counter() - self._started, 1e-9)
+
+    def health(self) -> dict:
+        """Cheap liveness probe: no latency math, no gauge mutation.
+
+        Distinguishes an idle-but-healthy server (heartbeats advance,
+        workers alive, queues empty) from a hung one (stale heartbeat
+        or a dead worker with a non-empty queue).
+        """
+        now = time.perf_counter()
+        with self._stats_lock:
+            heartbeats = self._heartbeats
+            beat_age = now - self._last_beat
+            inflight = self._inflight
+        with self._table_lock:
+            workers = dict(self._workers)
+        worker_health = {
+            pattern: {"alive": w.is_alive(),
+                      "busy": w.busy,
+                      "queue_depth": w.queue_depth()}
+            for pattern, w in workers.items()
+        }
+        cache = analysis_cache()
+        return {
+            "ok": (not self._shutdown.is_set()
+                   and all(h["alive"] or h["queue_depth"] == 0
+                           for h in worker_health.values())),
+            "stopping": self._shutdown.is_set(),
+            "uptime_s": self.uptime_s(),
+            "heartbeats": heartbeats,
+            "heartbeat_age_s": max(0.0, beat_age),
+            "patterns": len(workers),
+            "inflight": inflight,
+            "queue_depth": sum(h["queue_depth"]
+                               for h in worker_health.values()),
+            "workers": worker_health,
+            "analysis_cache": {"size": len(cache),
+                               "capacity": cache.capacity,
+                               "shards": len(cache.shard_stats())},
+        }
+
+    def stats(self, export: bool = False,
+              window_s: float | None = None) -> dict:
+        """Full operational snapshot: cumulative counters, the rolling
+        ``window_s`` (default ``config.window_s``) SLO view, per-worker
+        occupancy, and the slow-request exemplars.
+
+        Side-effect-free by default so concurrent wire pollers never
+        mutate shared gauges; explicit collection points (shutdown, the
+        bench, ``stats(export=True)``) pass ``export=True`` to publish
+        the ``serve.*`` gauges into the global registry.
+        """
+        window_s = float(window_s) if window_s else self.config.window_s
         with self._stats_lock:
             batch_mean = (self._batch_columns / self._batch_count
                           if self._batch_count else 0.0)
+            batch_count = self._batch_count
             batch_max = self._batch_max
             queue_depth_max = self._queue_depth_max
+            inflight = self._inflight
+            heartbeats = self._heartbeats
+        with self._table_lock:
+            workers = dict(self._workers)
         reg = global_registry()
-        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        uptime = self.uptime_s()
         responses = reg.value("serve.responses", 0)
+        window = self.latency.window_summary(window_s=window_s)
+        request_window = window.get(REQUEST_PHASE, {})
+        queue_depth = sum(w.queue_depth() for w in workers.values())
         stats = {
-            "patterns": len(self._workers),
+            "patterns": len(workers),
             "responses": int(responses),
             "errors": int(reg.value("serve.errors", 0)),
-            "uptime_s": elapsed,
+            "uptime_s": uptime,
+            "heartbeats": heartbeats,
+            "inflight": inflight,
             "coalesce": {
-                "batches": self._batch_count,
+                "batches": batch_count,
                 "batch_mean": batch_mean,
                 "batch_max": batch_max,
             },
+            "queue_depth": queue_depth,
             "queue_depth_max": queue_depth_max,
             "latency_ms": self.latency.summary(),
+            "window_s": window_s,
+            "window": {
+                "latency_ms": window,
+                "throughput_rps": request_window.get("rate_per_s", 0.0),
+                "inflight": inflight,
+                "queue_depth": queue_depth,
+            },
+            "workers": {pattern: w.snapshot()
+                        for pattern, w in workers.items()},
+            "exemplars": self.exemplars.snapshot(),
             "analysis_cache": analysis_cache().stats(),
             "analysis_cache_shards": analysis_cache().shard_stats(),
         }
         if export:
             self.latency.export()
+            self.latency.export_window(window_s=window_s)
             export_serve_gauges(batch_mean=batch_mean or None,
-                                queue_depth_max=queue_depth_max)
+                                queue_depth_max=queue_depth_max,
+                                queue_depth=queue_depth,
+                                uptime_s=uptime)
         return stats
 
     def shutdown(self, wait: bool = True) -> None:
@@ -449,6 +713,7 @@ class SolveServer:
         if wait:
             for worker in workers:
                 worker.join(timeout=30.0)
+            self._heartbeat_thread.join(timeout=5.0)
         self.stats(export=True)
 
     # -- protocol entry point -----------------------------------------------
@@ -475,6 +740,7 @@ class SolveServer:
                 x = result["x"]
                 return protocol.ok_response(
                     request_id, batch_k=result["batch_k"],
+                    request_id=result["request_id"],
                     **({"xs": x.T.tolist()} if x.ndim == 2
                        else {"x": x.tolist()}))
             if op == "refactorize":
@@ -484,8 +750,19 @@ class SolveServer:
                 ).result()
                 return protocol.ok_response(request_id, **result)
             if op == "stats":
+                # Read-only on the wire: never export gauges from a
+                # poller (concurrent scrapers would race collection
+                # points and each other).
+                stats = self.stats(export=False,
+                                   window_s=message.get("window_s"))
+                if message.get("format") == "text":
+                    return protocol.ok_response(
+                        request_id,
+                        text=stats_to_prometheus(stats, self.health()))
+                return protocol.ok_response(request_id, stats=stats)
+            if op == "health":
                 return protocol.ok_response(request_id,
-                                            stats=self.stats())
+                                            health=self.health())
             # shutdown
             self.shutdown(wait=False)
             return protocol.ok_response(request_id, stopping=True)

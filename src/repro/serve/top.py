@@ -1,0 +1,140 @@
+"""``repro serve-top``: a live terminal dashboard for the solve server.
+
+Polls the ``health`` and ``stats`` ops over the unix socket and renders
+an htop-style view: a header line (uptime, heartbeat, inflight, window
+throughput), a per-pattern-worker lane table (liveness, queue depth,
+busy/idle, batch occupancy), a rolling latency line with a unicode
+sparkline of the windowed p50 trend, and the slowest-request exemplars
+with their phase breakdown.  Pure consumer: everything it shows comes
+from the wire surface any external scraper could poll
+(docs/SERVING.md "Operating the server").
+
+The renderer is a pure function of (health, stats, trend) so it is unit
+testable without a terminal; the poll loop owns only timing, screen
+clearing, and the bounded p50-trend deque.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+
+from repro.obs.live import sparkline
+from repro.serve.metrics import REQUEST_PHASE
+
+#: Sparkline width (poll intervals of windowed p50 history kept).
+TREND_POINTS = 48
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:8.3f}ms"
+
+
+def _short(pattern: str, width: int = 14) -> str:
+    return pattern if len(pattern) <= width else pattern[:width - 1] + "…"
+
+
+def render_dashboard(health: dict, stats: dict,
+                     trend: list[float] | None = None) -> str:
+    """Render one dashboard frame as a plain string (no ANSI clears)."""
+    lines = []
+    window = stats.get("window", {})
+    window_lat = window.get("latency_ms", {})
+    request = window_lat.get(REQUEST_PHASE, {})
+    status = "up" if health.get("ok") else \
+        ("stopping" if health.get("stopping") else "DEGRADED")
+    lines.append(
+        f"repro serve-top — {status}  "
+        f"uptime {health.get('uptime_s', 0.0):8.1f}s  "
+        f"heartbeat #{health.get('heartbeats', 0)} "
+        f"({health.get('heartbeat_age_s', 0.0):.1f}s ago)")
+    lines.append(
+        f"window {stats.get('window_s', 0):g}s: "
+        f"{window.get('throughput_rps', 0.0):8.1f} req/s  "
+        f"inflight {window.get('inflight', 0):>4}  "
+        f"queued {window.get('queue_depth', 0):>4}  "
+        f"responses {stats.get('responses', 0)}  "
+        f"errors {stats.get('errors', 0)}")
+    p50 = request.get("p50_ms", 0.0)
+    lines.append(
+        f"latency (window): p50 {_fmt_ms(p50)}  "
+        f"p95 {_fmt_ms(request.get('p95_ms', 0.0))}  "
+        f"p99 {_fmt_ms(request.get('p99_ms', 0.0))}  "
+        f"max {_fmt_ms(request.get('max_ms', 0.0))}")
+    if trend:
+        lines.append(f"p50 trend: {sparkline(trend, width=TREND_POINTS)} "
+                     f"({len(trend)} samples)")
+    lines.append("")
+    lines.append(f"{'pattern':<16}{'state':<7}{'queue':>6}{'served':>8}"
+                 f"{'batches':>9}{'batch k':>9}{'idle':>8}")
+    workers = stats.get("workers", {})
+    for pattern in sorted(workers):
+        w = workers[pattern]
+        state = "dead" if not w.get("alive", False) else \
+            ("busy" if w.get("busy") else "idle")
+        mean_k = (w.get("columns", 0) / w["batches"]
+                  if w.get("batches") else 0.0)
+        lines.append(
+            f"{_short(pattern, 15):<16}{state:<7}"
+            f"{w.get('queue_depth', 0):>6}{w.get('served', 0):>8}"
+            f"{w.get('batches', 0):>9}{mean_k:>9.2f}"
+            f"{w.get('idle_s', 0.0):>7.1f}s")
+    if not workers:
+        lines.append("  (no patterns registered)")
+    exemplars = stats.get("exemplars", [])
+    if exemplars:
+        lines.append("")
+        lines.append("slowest requests:")
+        for ex in exemplars[:5]:
+            phases = ex.get("phases_ms", {})
+            lines.append(
+                f"  {ex.get('request_id', '?'):<8}"
+                f"{ex.get('op', '?'):<12}"
+                f"{ex.get('latency_ms', 0.0):>9.3f}ms  "
+                f"batch {ex.get('batch_k', 1):>3}  "
+                f"queue {phases.get('queue_wait', 0.0):7.3f}  "
+                f"coalesce {phases.get('coalesce_wait', 0.0):7.3f}  "
+                f"solve {phases.get('solve', 0.0):7.3f}")
+    cache = stats.get("analysis_cache", {})
+    lines.append("")
+    lines.append(
+        f"analysis cache: {cache.get('size', 0)}/"
+        f"{cache.get('capacity', 0)} entries, "
+        f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(socket_path: str, interval_s: float = 1.0,
+            iterations: int = 0, window_s: float | None = None,
+            clear: bool = True, out=None) -> int:
+    """Poll-and-render loop.  ``iterations=0`` runs until Ctrl-C (or
+    the server goes away); a positive count renders that many frames —
+    what the tests and one-shot scripts use.  Returns an exit code."""
+    from repro.serve.client import SocketClient
+
+    out = out if out is not None else sys.stdout
+    trend: deque[float] = deque(maxlen=TREND_POINTS)
+    frames = 0
+    try:
+        with SocketClient(socket_path) as client:
+            while True:
+                health = client.health()
+                stats = client.stats(window_s=window_s)
+                request = stats.get("window", {}) \
+                    .get("latency_ms", {}).get(REQUEST_PHASE, {})
+                trend.append(request.get("p50_ms", 0.0))
+                frame = render_dashboard(health, stats, list(trend))
+                out.write((_CLEAR if clear else "") + frame)
+                out.flush()
+                frames += 1
+                if iterations and frames >= iterations:
+                    return 0
+                time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"serve-top: server went away ({exc})", file=sys.stderr)
+        return 0 if frames else 1

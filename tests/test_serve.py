@@ -618,3 +618,318 @@ class TestCacheEnvKnobs:
         assert cache_mod._shards_from_env() == 3
         monkeypatch.setenv(cache_mod.ENV_CAPACITY, "junk")
         assert cache_mod._capacity_from_env() == cache_mod.DEFAULT_CAPACITY
+
+
+# -- live observability (ISSUE 10) ----------------------------------------
+
+
+class TestLiveObservability:
+    def test_stats_default_is_side_effect_free(self, server):
+        matrix = grid_laplacian_2d(6, seed=1)
+        client = InProcessClient(server)
+        pattern = client.factor(matrix)
+        client.solve(pattern, _rhs(matrix, seed=1))
+        # Polling stats must not mutate the global registry: a dashboard
+        # refreshing every second would otherwise overwrite the gauges a
+        # bench run exported.
+        stats = client.stats()
+        assert stats["responses"] == 2
+        snapshot = global_registry().snapshot()
+        assert "serve.latency.request.p50_ms" not in snapshot
+        assert "serve.window.latency.request.p50_ms" not in snapshot
+        # The explicit collection point exports everything, including
+        # the windowed SLO gauges and the liveness gauges.
+        server.stats(export=True)
+        snapshot = global_registry().snapshot()
+        for name in ("serve.latency.request.p50_ms",
+                     "serve.window.latency.request.p50_ms",
+                     "serve.window.throughput.rps",
+                     "serve.queue.depth", "serve.uptime_s"):
+            assert name in snapshot, name
+
+    def test_stats_window_section_shape(self, server):
+        matrix = grid_laplacian_2d(6, seed=2)
+        client = InProcessClient(server)
+        pattern = client.factor(matrix)
+        for i in range(4):
+            client.solve(pattern, _rhs(matrix, seed=20 + i))
+        stats = client.stats(window_s=30.0)
+        assert stats["window_s"] == 30.0
+        window = stats["window"]
+        assert window["throughput_rps"] > 0
+        assert window["latency_ms"][REQUEST_PHASE]["count"] == 5
+        assert set(window["latency_ms"][REQUEST_PHASE]) >= {
+            "count", "rate_per_s", "p50_ms", "p95_ms", "p99_ms",
+            "max_ms"}
+        worker = stats["workers"][pattern]
+        assert worker["alive"] and worker["served"] == 5
+        assert worker["queue_depth"] == 0
+
+    def test_health_shape_and_heartbeat_advances(self):
+        import time
+
+        srv = SolveServer(ServeConfig(heartbeat_s=0.05))
+        try:
+            health = srv.health()
+            assert health["ok"] is True
+            for key in ("uptime_s", "heartbeats", "heartbeat_age_s",
+                        "patterns", "inflight", "queue_depth",
+                        "workers", "analysis_cache"):
+                assert key in health, key
+            deadline = time.time() + 5.0
+            while (srv.health()["heartbeats"] < 2
+                   and time.time() < deadline):
+                time.sleep(0.02)
+            assert srv.health()["heartbeats"] >= 2
+            assert srv.health()["uptime_s"] > 0
+        finally:
+            srv.shutdown()
+        assert srv.health()["ok"] is False
+
+    def test_request_id_echo_and_exemplars(self, server):
+        matrix = grid_laplacian_2d(6, seed=3)
+        client = InProcessClient(server)
+        pattern = client.factor(matrix)
+        future = server.submit_solve(pattern, _rhs(matrix, seed=4),
+                                     request_id="trace-me")
+        result = future.result(timeout=10.0)
+        assert result["request_id"] == "trace-me"
+        exemplars = server.exemplars.snapshot()
+        assert any(e["request_id"] == "trace-me" for e in exemplars)
+        slow = exemplars[0]
+        assert set(slow["phases_ms"]) == {"queue_wait", "coalesce_wait",
+                                          "solve"}
+        assert slow["latency_ms"] >= max(slow["phases_ms"].values())
+
+    def test_trace_ids_cover_coalesced_batch_exactly_once(self, tmp_path):
+        from collections import Counter
+
+        from repro.obs import telemetry
+
+        telemetry.start(tmp_path, run_id="run-serve-trace",
+                        heartbeat_s=None)
+        srv = SolveServer(ServeConfig(coalesce_window_s=0.005,
+                                      max_batch=8))
+        try:
+            matrix = grid_laplacian_2d(6, seed=5)
+            pattern = srv.factor(matrix)["pattern"]
+            futures = {}
+            for i in range(16):
+                rid = f"req-{i}"
+                futures[rid] = srv.submit_solve(
+                    pattern, _rhs(matrix, seed=30 + i), request_id=rid)
+            for future in futures.values():
+                future.result(timeout=30.0)
+        finally:
+            srv.shutdown()
+            telemetry.stop(dump_registry=False)
+        timeline = telemetry.collect(tmp_path, run_id="run-serve-trace")
+        batches = [s for s in timeline.spans()
+                   if s["name"] == "serve.batch"]
+        assert batches, "no serve.batch spans recorded"
+        seen = Counter(rid for s in batches
+                       for rid in s["attrs"]["riders"])
+        # Every request rode exactly one batch — none lost, none solved
+        # twice — and the span knows the batch width it rode in.
+        assert seen == Counter(futures.keys())
+        assert all(s["attrs"]["requests"] == len(s["attrs"]["riders"])
+                   for s in batches)
+        request_spans = [s for s in timeline.spans()
+                         if s["name"] == "serve.request"]
+        assert {s["attrs"]["request_id"] for s in request_spans} >= set(
+            futures)
+
+    def test_concurrent_polling_under_traffic(self, server):
+        # Dashboards poll stats/health while traffic is coalescing; the
+        # lock ordering must never deadlock and snapshots must stay
+        # internally consistent.  A deadlock shows up as a join timeout.
+        matrix = grid_laplacian_2d(7, seed=6)
+        client = InProcessClient(server)
+        pattern = client.factor(matrix)
+        vectors = [_rhs(matrix, seed=40 + i) for i in range(24)]
+        results = [None] * len(vectors)
+        stop = threading.Event()
+        polls = {"stats": 0, "health": 0}
+        poll_errors = []
+
+        def poller():
+            while not stop.is_set():
+                try:
+                    stats = server.stats(export=False)
+                    health = server.health()
+                except Exception as exc:  # pragma: no cover - failure
+                    poll_errors.append(exc)
+                    return
+                polls["stats"] += 1
+                polls["health"] += 1
+                assert stats["responses"] >= 0
+                assert health["queue_depth"] >= 0
+
+        def go(i):
+            results[i] = client.solve(pattern, vectors[i])
+
+        pollers = [threading.Thread(target=poller) for _ in range(3)]
+        workers = [threading.Thread(target=go, args=(i,))
+                   for i in range(len(vectors))]
+        for t in pollers + workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=30.0)
+        stop.set()
+        for t in pollers:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in pollers + workers), \
+            "deadlock: poller or worker never finished"
+        assert not poll_errors
+        assert polls["stats"] > 0
+        reference = SparseSolver(matrix, rhs_pad=8)
+        for i, vector in enumerate(vectors):
+            assert np.array_equal(results[i], reference.solve(vector))
+        assert server.stats(export=False)["responses"] == \
+            len(vectors) + 1
+
+    def test_latency_recorder_ring_is_bounded(self):
+        recorder = LatencyRecorder(ring=8)
+        for i in range(50):
+            recorder.observe(REQUEST_PHASE, i / 1e3)
+        # Lifetime count is exact even though only 8 samples are
+        # retained (the unbounded-list bug this replaces).
+        assert recorder.count(REQUEST_PHASE) == 50
+        summary = recorder.summary()[REQUEST_PHASE]
+        assert summary["count"] == 50
+        assert recorder._window(REQUEST_PHASE).retained() == 8
+        # Percentiles now describe the newest 8 samples (42..49 ms).
+        assert summary["p50_ms"] >= 42.0
+        window = recorder.window_summary(window_s=1e9)
+        assert window[REQUEST_PHASE]["count"] == 8
+
+    def test_window_summary_zero_fills_idle_phases(self):
+        recorder = LatencyRecorder(ring=16)
+        recorder.observe(REQUEST_PHASE, 0.001)
+        window = recorder.window_summary(window_s=60.0)
+        # Layout-stable: every known phase appears even when idle.
+        assert window["solve"]["count"] == 0
+        assert window["solve"]["p99_ms"] == 0.0
+
+    def test_windowed_gauges_are_watched(self):
+        from repro.obs.artifact import WATCHED_METRICS
+        for name in ("serve.window.latency.request.p50_ms",
+                     "serve.window.latency.request.p99_ms",
+                     "serve.window.throughput.rps"):
+            assert name in WATCHED_METRICS
+
+
+class TestObservabilityProtocol:
+    def test_health_op_round_trips(self, server):
+        request = protocol.decode(protocol.encode({"op": "health",
+                                                   "id": 3}))
+        response = server.handle(request)
+        assert response["ok"] and response["id"] == 3
+        assert response["health"]["ok"] is True
+        assert response["health"]["workers"] == {}
+
+    def test_stats_op_options(self, server):
+        response = server.handle({"op": "stats", "id": 1,
+                                  "window_s": 5.0})
+        assert response["stats"]["window_s"] == 5.0
+        response = server.handle({"op": "stats", "id": 2,
+                                  "format": "text"})
+        assert response["text"].startswith("# TYPE repro_")
+
+    @pytest.mark.parametrize("bad,match", [
+        ({"op": "stats", "format": "xml"}, "format"),
+        ({"op": "stats", "window_s": -1.0}, "window_s"),
+        ({"op": "stats", "window_s": "soon"}, "window_s"),
+    ])
+    def test_stats_validation(self, bad, match):
+        with pytest.raises(protocol.ProtocolError, match=match):
+            protocol.validate_request(bad)
+
+    def test_health_over_socket(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        srv = SolveServer(ServeConfig(max_batch=4))
+        ready = threading.Event()
+        thread = threading.Thread(target=run_unix_server,
+                                  args=(srv, path, ready), daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+        matrix = grid_laplacian_2d(6, seed=7)
+        with SocketClient(path) as client:
+            pattern = client.factor(matrix)
+            client.solve(pattern, _rhs(matrix, seed=8))
+            health = client.health()
+            assert health["ok"] and health["patterns"] == 1
+            assert health["workers"][pattern]["alive"]
+            text = client.stats(format="text")
+            assert "repro_health_ok 1" in text
+            assert "repro_serve_responses" in text
+            stats = client.stats(window_s=10.0)
+            assert stats["window_s"] == 10.0
+            client.shutdown()
+        thread.join(timeout=10.0)
+
+
+class TestObservabilityCli:
+    @staticmethod
+    def _boot(tmp_path):
+        path = str(tmp_path / "serve.sock")
+        srv = SolveServer(ServeConfig(max_batch=4))
+        ready = threading.Event()
+        thread = threading.Thread(target=run_unix_server,
+                                  args=(srv, path, ready), daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+        matrix = grid_laplacian_2d(6, seed=9)
+        client = SocketClient(path)
+        pattern = client.factor(matrix)
+        for i in range(3):
+            client.solve(pattern, _rhs(matrix, seed=50 + i))
+        return path, client, thread
+
+    def test_serve_stats_command(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path, client, thread = self._boot(tmp_path)
+        try:
+            assert main(["serve-stats", "--socket", path]) == 0
+            pretty = capsys.readouterr().out
+            assert "window" in pretty and "lifetime" in pretty
+            assert main(["serve-stats", "--socket", path,
+                         "--format", "json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["health"]["ok"] is True
+            assert payload["stats"]["responses"] == 4
+            assert main(["serve-stats", "--socket", path,
+                         "--format", "text"]) == 0
+            assert "# TYPE repro_" in capsys.readouterr().out
+        finally:
+            client.shutdown()
+            client.close()
+            thread.join(timeout=10.0)
+
+    def test_serve_stats_unreachable_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["serve-stats", "--socket",
+                     str(tmp_path / "nope.sock")])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_top_renders_frames(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path, client, thread = self._boot(tmp_path)
+        try:
+            code = main(["serve-top", "--socket", path,
+                         "--iterations", "2", "--interval", "0.1",
+                         "--no-clear"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert out.count("repro serve-top") == 2
+            assert "pattern" in out and "slowest requests" in out
+        finally:
+            client.shutdown()
+            client.close()
+            thread.join(timeout=10.0)
